@@ -1,0 +1,104 @@
+// Command diameter runs one diameter algorithm on a generated network and
+// prints the result with its measured round complexity.
+//
+// Usage:
+//
+//	diameter -graph random -n 60 -algo quantum-exact -seed 3
+//	diameter -graph lollipop -n 80 -d 5 -algo classical-exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qcongest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "diameter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
+		n    = flag.Int("n", 40, "number of vertices")
+		d    = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
+		p    = flag.Float64("p", 0.1, "edge probability (random)")
+		algo = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*kind, *n, *d, *p, *seed)
+	if err != nil {
+		return err
+	}
+	truth, err := g.Diameter()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph=%s n=%d m=%d true-diameter=%d\n", *kind, g.N(), g.M(), truth)
+
+	switch *algo {
+	case "classical-exact":
+		res, err := qcongest.ClassicalExactDiameter(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("classical exact: diameter=%d rounds=%d messages=%d\n",
+			res.Diameter, res.Metrics.Rounds, res.Metrics.Messages)
+	case "classical-approx":
+		res, err := qcongest.ClassicalApproxDiameter(g, 0, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("classical 3/2-approx: estimate=%d rounds=%d\n", res.Diameter, res.Metrics.Rounds)
+	case "quantum-exact", "quantum-simple", "quantum-approx":
+		var res qcongest.QuantumResult
+		switch *algo {
+		case "quantum-exact":
+			res, err = qcongest.QuantumExactDiameter(g, qcongest.QuantumOptions{Seed: *seed})
+		case "quantum-simple":
+			res, err = qcongest.QuantumExactDiameterSimple(g, qcongest.QuantumOptions{Seed: *seed})
+		default:
+			res, err = qcongest.QuantumApproxDiameter(g, qcongest.QuantumOptions{Seed: *seed})
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: diameter=%d rounds=%d iterations=%d eval-rounds=%d qubits/node=%d leader=%d\n",
+			*algo, res.Diameter, res.Rounds, res.Iterations, res.EvalRounds, res.NodeQubits, res.LeaderQubits)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func buildGraph(kind string, n, d int, p float64, seed int64) (*qcongest.Graph, error) {
+	switch kind {
+	case "random":
+		return qcongest.RandomConnected(n, p, seed), nil
+	case "path":
+		return qcongest.Path(n), nil
+	case "cycle":
+		return qcongest.Cycle(n), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return qcongest.Grid(side, side), nil
+	case "lollipop":
+		return qcongest.LollipopWithDiameter(n, d)
+	case "smallworld":
+		return qcongest.SmallWorld(n, 2, 0.2, seed), nil
+	case "caterpillar":
+		return qcongest.Caterpillar(n/(d+1), d), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}

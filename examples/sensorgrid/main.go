@@ -1,0 +1,35 @@
+// Sensor-grid scenario: a torus of sensors whose diameter grows with the
+// grid side. Exercises the D-dependence of Theorem 1 (rounds ~ sqrt(nD))
+// and the 3/2-approximation of Theorem 4 (rounds ~ cbrt(nD) + D), which
+// wins when an exact answer is not required.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qcongest"
+)
+
+func main() {
+	for _, side := range []int{5, 7, 9} {
+		g := qcongest.Torus(side, side)
+		truth, err := g.Diameter()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		exact, err := qcongest.QuantumExactDiameter(g, qcongest.QuantumOptions{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, err := qcongest.QuantumApproxDiameter(g, qcongest.QuantumOptions{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%dx%d torus (n=%d, D=%d):\n", side, side, g.N(), truth)
+		fmt.Printf("  exact  [Thm 1]: value=%2d rounds=%6d\n", exact.Diameter, exact.Rounds)
+		fmt.Printf("  approx [Thm 4]: value=%2d rounds=%6d (3/2 guarantee: %d <= D <= %d)\n",
+			approx.Diameter, approx.Rounds, approx.Diameter, (3*approx.Diameter)/2+1)
+	}
+}

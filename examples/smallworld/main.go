@@ -1,0 +1,34 @@
+// Small-world scenario: a data-center-style overlay network with many
+// nodes but tiny diameter — the paper's motivating regime, where even
+// deciding "diameter 2 or 3" costs Theta(n) rounds classically while the
+// quantum algorithm needs only Õ(sqrt(n)).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qcongest"
+)
+
+func main() {
+	for _, n := range []int{48, 96, 192} {
+		g := qcongest.SmallWorld(n, 3, 0.3, int64(n))
+		truth, err := g.Diameter()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		classical, err := qcongest.ClassicalExactDiameter(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		quantum, err := qcongest.QuantumExactDiameter(g, qcongest.QuantumOptions{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%4d D=%d | classical rounds=%6d | quantum rounds=%6d (correct=%v)\n",
+			n, truth, classical.Metrics.Rounds, quantum.Rounds, quantum.Diameter == truth)
+	}
+	fmt.Println("\nClassical rounds grow linearly in n; quantum rounds grow ~sqrt(n).")
+}

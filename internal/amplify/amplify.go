@@ -1,0 +1,143 @@
+// Package amplify implements the quantum search machinery of Sections 2.3
+// and 2.4 of the paper: amplitude amplification for an unknown number of
+// marked items (Theorem 6, using the standard BBHT exponential schedule)
+// and quantum maximum finding (Corollary 1, the Dürr-Høyer threshold climb).
+//
+// Every routine counts how many times it applies the Setup and Evaluation
+// black boxes. Theorem 7 turns those counts into distributed round
+// complexities: each amplification iteration costs two Evaluation
+// applications (mark, unmark) and two Setup applications (the reflection
+// about the initial state is Setup^{-1}, a |0>-phase flip, Setup), plus one
+// classical Evaluation per measurement verification.
+package amplify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcongest/internal/qsim"
+)
+
+// Counters tallies black-box applications during a quantum procedure.
+type Counters struct {
+	GroverIterations int // amplitude-amplification steps performed
+	SetupCalls       int // applications of Setup or its inverse
+	EvaluationCalls  int // applications of Evaluation or its inverse
+	Measurements     int // full measurements of the internal register
+	Phases           int // threshold updates / epsilon halvings (FindMax)
+}
+
+func (c *Counters) add(o Counters) {
+	c.GroverIterations += o.GroverIterations
+	c.SetupCalls += o.SetupCalls
+	c.EvaluationCalls += o.EvaluationCalls
+	c.Measurements += o.Measurements
+	c.Phases += o.Phases
+}
+
+// ErrNotFound is returned by Search when no marked element was found within
+// the iteration budget. Callers treat it as "M is (probably) empty".
+var ErrNotFound = errors.New("amplify: no marked element found")
+
+// Search runs the BBHT amplitude-amplification loop on the initial state
+// phi (the Setup output) with the given marked-set predicate, spending at
+// most maxIterations Grover iterations. On success it returns the measured
+// marked element. The expected number of iterations is O(sqrt(1/P_M)) when
+// the marked probability mass is P_M > 0 (Theorem 6).
+func Search(phi *qsim.Sparse, marked func(int) bool, maxIterations int, rng *rand.Rand) (int, Counters, error) {
+	var c Counters
+	if maxIterations < 1 {
+		maxIterations = 1
+	}
+	m := 1.0
+	const lambda = 1.2 // BBHT growth factor in (1, 4/3)
+	nKeys := len(phi.Support())
+	mCap := math.Sqrt(float64(nKeys)) * 2
+	for c.GroverIterations < maxIterations {
+		j := rng.Intn(int(m) + 1)
+		if rem := maxIterations - c.GroverIterations; j > rem {
+			j = rem
+		}
+		s := phi.Clone()
+		for i := 0; i < j; i++ {
+			s.GroverIteration(phi, marked)
+		}
+		c.GroverIterations += j
+		c.SetupCalls += 2*j + 1 // reflections + initial Setup
+		c.EvaluationCalls += 2 * j
+		x := s.Measure(rng)
+		c.Measurements++
+		c.EvaluationCalls++ // classical verification of the outcome
+		if marked(x) {
+			return x, c, nil
+		}
+		m = math.Min(lambda*m, mCap)
+		if j == 0 && m < 1.5 {
+			m = 1.5 // ensure progress when the first draw was 0
+		}
+	}
+	return 0, c, ErrNotFound
+}
+
+// MaxResult is the outcome of FindMax.
+type MaxResult struct {
+	Argmax   int
+	Value    int
+	Counters Counters
+}
+
+// FindMax implements Corollary 1 (quantum optimization): it finds an
+// element maximizing f over the support of phi with probability at least
+// 1-delta, provided the probability mass of maximizing elements under phi
+// is at least eps. The procedure follows the paper: keep a threshold a,
+// repeatedly amplitude-amplify the set {x : f(x) > f(a)} with a budget
+// calibrated to the current epsilon', halving epsilon' after each fruitless
+// phase, and stop once epsilon' < eps and a phase finds nothing.
+func FindMax(phi *qsim.Sparse, f func(int) int, eps, delta float64, rng *rand.Rand) (MaxResult, error) {
+	var res MaxResult
+	if eps <= 0 || eps > 1 {
+		return res, fmt.Errorf("amplify: eps %g out of (0,1]", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return res, fmt.Errorf("amplify: delta %g out of (0,1)", delta)
+	}
+	support := phi.Support()
+	if len(support) == 0 {
+		return res, qsim.ErrEmptyDomain
+	}
+
+	// Step 1: start from a measured sample of the initial state (a fixed
+	// element would do; sampling matches the Dürr-Høyer analysis).
+	a := phi.Clone().Measure(rng)
+	res.Counters.Measurements++
+	res.Counters.SetupCalls++
+	res.Counters.EvaluationCalls++ // learn f(a)
+	fa := f(a)
+
+	boost := math.Ceil(math.Log(1 / delta))
+	if boost < 1 {
+		boost = 1
+	}
+	epsPrime := 0.5
+	for {
+		budget := int(boost*math.Ceil(3/math.Sqrt(epsPrime))) + 1
+		marked := func(x int) bool { return f(x) > fa }
+		b, c, err := Search(phi, marked, budget, rng)
+		res.Counters.add(c)
+		res.Counters.Phases++
+		switch {
+		case err == nil:
+			a, fa = b, f(b)
+		case errors.Is(err, ErrNotFound):
+			if epsPrime <= eps {
+				res.Argmax, res.Value = a, fa
+				return res, nil
+			}
+			epsPrime /= 2
+		default:
+			return res, err
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package amplify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qcongest/internal/qsim"
+)
+
+func uniformOver(n int, t *testing.T) *qsim.Sparse {
+	t.Helper()
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i
+	}
+	phi, err := qsim.NewUniform(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phi
+}
+
+func TestSearchFindsUniqueMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	phi := uniformOver(64, t)
+	hits := 0
+	const trials = 50
+	totalIters := 0
+	for i := 0; i < trials; i++ {
+		x, c, err := Search(phi, func(k int) bool { return k == 37 }, 200, rng)
+		if err == nil && x == 37 {
+			hits++
+		}
+		totalIters += c.GroverIterations
+	}
+	if hits < trials*9/10 {
+		t.Errorf("found marked element only %d/%d times", hits, trials)
+	}
+	// Expected iterations O(sqrt(64)) = 8; allow generous constant.
+	if avg := float64(totalIters) / trials; avg > 60 {
+		t.Errorf("average iterations %g, want O(sqrt(N)) = 8-ish", avg)
+	}
+}
+
+func TestSearchEmptyMarkedSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	phi := uniformOver(32, t)
+	_, c, err := Search(phi, func(int) bool { return false }, 40, rng)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if c.GroverIterations < 40 {
+		t.Errorf("budget not exhausted: %d iterations", c.GroverIterations)
+	}
+}
+
+// The sqrt speedup: iterations to find one marked item among N scale like
+// sqrt(N), not N. Check the ratio between N=256 and N=16 is near
+// sqrt(256/16)=4, far below the classical 16.
+func TestSearchSqrtScaling(t *testing.T) {
+	avgIters := func(n int) float64 {
+		rng := rand.New(rand.NewSource(11))
+		phi := uniformOver(n, t)
+		total := 0
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			_, c, err := Search(phi, func(k int) bool { return k == n-1 }, 50*n, rng)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			total += c.GroverIterations
+		}
+		return float64(total) / trials
+	}
+	small, large := avgIters(16), avgIters(256)
+	ratio := large / small
+	if ratio > 9 {
+		t.Errorf("iteration ratio %g suggests super-sqrt scaling (small=%g large=%g)", ratio, small, large)
+	}
+}
+
+func TestFindMaxCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	phi := uniformOver(100, t)
+	f := func(x int) int { return -(x - 63) * (x - 63) } // max at 63
+	hits := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		res, err := FindMax(phi, f, 1.0/100, 0.1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Argmax == 63 {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("FindMax hit the maximum %d/%d times", hits, trials)
+	}
+}
+
+func TestFindMaxPlateau(t *testing.T) {
+	// Many maximizers: eps is large, so few iterations should be needed.
+	rng := rand.New(rand.NewSource(9))
+	phi := uniformOver(64, t)
+	f := func(x int) int {
+		if x >= 32 {
+			return 5
+		}
+		return x % 5
+	}
+	res, err := FindMax(phi, f, 0.5, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 5 {
+		t.Errorf("value = %d, want 5", res.Value)
+	}
+	if res.Counters.GroverIterations > 200 {
+		t.Errorf("easy instance used %d iterations", res.Counters.GroverIterations)
+	}
+}
+
+func TestFindMaxParameterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	phi := uniformOver(8, t)
+	f := func(x int) int { return x }
+	if _, err := FindMax(phi, f, 0, 0.1, rng); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := FindMax(phi, f, 2, 0.1, rng); err == nil {
+		t.Error("eps=2 accepted")
+	}
+	if _, err := FindMax(phi, f, 0.1, 0, rng); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := FindMax(phi, f, 0.1, 1, rng); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+// FindMax iteration count scales like sqrt(1/eps) = sqrt(N) for a unique
+// maximizer under the uniform distribution, times log factors.
+func TestFindMaxSqrtScaling(t *testing.T) {
+	avg := func(n int) float64 {
+		rng := rand.New(rand.NewSource(13))
+		phi := uniformOver(n, t)
+		f := func(x int) int { return x }
+		total := 0
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			res, err := FindMax(phi, f, 1/float64(n), 0.2, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Counters.GroverIterations
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(16), avg(256)
+	// sqrt scaling predicts ratio ~4 (with log factors); classical would
+	// be 16. Allow up to 10.
+	if r := large / small; r > 10 {
+		t.Errorf("scaling ratio %g (small=%g large=%g)", r, small, large)
+	}
+}
+
+// The counter relation documented in the package comment: each iteration
+// contributes 2 Setup and 2 Evaluation applications (plus per-measurement
+// overhead).
+func TestCounterAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	phi := uniformOver(64, t)
+	_, c, err := Search(phi, func(k int) bool { return k == 1 }, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SetupCalls != 2*c.GroverIterations+c.Measurements {
+		t.Errorf("SetupCalls=%d, want 2*%d+%d", c.SetupCalls, c.GroverIterations, c.Measurements)
+	}
+	if c.EvaluationCalls != 2*c.GroverIterations+c.Measurements {
+		t.Errorf("EvaluationCalls=%d, want 2*%d+%d", c.EvaluationCalls, c.GroverIterations, c.Measurements)
+	}
+}
+
+// Amplitude amplification success probability after the optimal number of
+// iterations should be near 1 (sanity for the underlying qsim plumbing).
+func TestOptimalIterationSweetSpot(t *testing.T) {
+	phi := uniformOver(1024, t)
+	marked := func(k int) bool { return k == 512 }
+	s := phi.Clone()
+	kOpt := int(math.Round(math.Pi / 4 * math.Sqrt(1024)))
+	for i := 0; i < kOpt; i++ {
+		s.GroverIteration(phi, marked)
+	}
+	if p := s.Probability(marked); p < 0.99 {
+		t.Errorf("P(marked) after %d iterations = %g", kOpt, p)
+	}
+}

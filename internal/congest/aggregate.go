@@ -1,0 +1,136 @@
+package congest
+
+// Tree aggregation programs: convergecast of a maximum toward the root
+// (Figure 2 Step 3: "the transmission is done bottom up on BFS(leader), and
+// at each node only the maximum of received values is transmitted") and
+// broadcast of a value from the root down the tree. Both run on a
+// previously-built BFS tree and finish within height+1 rounds.
+
+type (
+	// msgMax carries a partial maximum (value, witness id) up the tree.
+	msgMax struct {
+		Value   int
+		Witness int
+	}
+	// msgBcast carries the root's value down the tree.
+	msgBcast struct{ Value int }
+)
+
+// ConvergecastMaxNode aggregates the maximum of per-node input values at
+// the root. Each node waits for all of its children, then forwards the max
+// of its own value and theirs; only one O(log n)-bit message crosses each
+// tree edge.
+type ConvergecastMaxNode struct {
+	Parent   int
+	Children []int
+	Value    int
+	Witness  int // id associated with Value (e.g. the vertex achieving it)
+
+	// Outputs (meaningful at the root).
+	Max        int
+	MaxWitness int
+
+	received int
+	sent     bool
+	isRoot   bool
+}
+
+// NewConvergecastMaxNode builds the program for one node. witness
+// identifies where the value came from (often the node itself).
+func NewConvergecastMaxNode(parent int, children []int, value, witness int) *ConvergecastMaxNode {
+	return &ConvergecastMaxNode{
+		Parent:     parent,
+		Children:   append([]int(nil), children...),
+		Value:      value,
+		Witness:    witness,
+		Max:        value,
+		MaxWitness: witness,
+		isRoot:     parent < 0,
+	}
+}
+
+// Send implements Node.
+func (c *ConvergecastMaxNode) Send(env *Env) []Outbound {
+	if c.sent || c.received < len(c.Children) {
+		return nil
+	}
+	c.sent = true
+	if c.isRoot {
+		return nil
+	}
+	bits := 2 * BitsForID(4*env.N+1)
+	return []Outbound{{To: c.Parent, Payload: msgMax{Value: c.Max, Witness: c.MaxWitness}, Bits: bits}}
+}
+
+// Receive implements Node.
+func (c *ConvergecastMaxNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		m, ok := in.Payload.(msgMax)
+		if !ok {
+			continue
+		}
+		c.received++
+		if m.Value > c.Max || (m.Value == c.Max && m.Witness < c.MaxWitness) {
+			c.Max = m.Value
+			c.MaxWitness = m.Witness
+		}
+	}
+}
+
+// Done implements Node.
+func (c *ConvergecastMaxNode) Done() bool { return c.sent }
+
+// StateBits implements StateSizer.
+func (c *ConvergecastMaxNode) StateBits() int { return 4 * 64 }
+
+// BroadcastNode distributes the root's value down a tree.
+type BroadcastNode struct {
+	Parent   int
+	Children []int
+
+	// Value is the input at the root and the output everywhere.
+	Value int
+
+	have bool
+	sent bool
+}
+
+// NewBroadcastNode builds the program for one node; value is ignored except
+// at the root.
+func NewBroadcastNode(parent int, children []int, value int) *BroadcastNode {
+	b := &BroadcastNode{Parent: parent, Children: append([]int(nil), children...), Value: value}
+	if parent < 0 {
+		b.have = true
+	}
+	return b
+}
+
+// Send implements Node.
+func (b *BroadcastNode) Send(env *Env) []Outbound {
+	if !b.have || b.sent {
+		return nil
+	}
+	b.sent = true
+	out := make([]Outbound, 0, len(b.Children))
+	bits := BitsForID(4*env.N + 1)
+	for _, c := range b.Children {
+		out = append(out, Outbound{To: c, Payload: msgBcast{Value: b.Value}, Bits: bits})
+	}
+	return out
+}
+
+// Receive implements Node.
+func (b *BroadcastNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		if m, ok := in.Payload.(msgBcast); ok {
+			b.Value = m.Value
+			b.have = true
+		}
+	}
+}
+
+// Done implements Node.
+func (b *BroadcastNode) Done() bool { return b.sent }
+
+// StateBits implements StateSizer.
+func (b *BroadcastNode) StateBits() int { return 64 }

@@ -1,0 +1,399 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcongest/internal/graph"
+)
+
+// This file implements the preparation phase of the paper's Figure 3
+// (identical to Steps 1-5 of Algorithm 1 in [HPRW14]) and the classical
+// 3/2-approximation baseline that finishes it with a pipelined multi-source
+// eccentricity computation. The quantum algorithm of Theorem 4 reuses
+// ApproxPrep and replaces the final phase with quantum optimization.
+
+// ApproxPrep is the outcome of Figure 3's preparation.
+type ApproxPrep struct {
+	Info *PreInfo // leader, BFS(leader), d = ecc(leader)
+
+	S        []bool // the sampled hitting set of Step 1
+	W        int    // the vertex maximizing d(w, p(w)) (Step 2)
+	WParent  []int  // BFS(w) tree
+	WDepth   []int
+	WNatural [][]int // BFS(w) children
+	RMembers []bool  // R: the s closest vertices to w (Step 3)
+	RSize    int
+	RChild   [][]int // BFS(w) children restricted to R (the R-subtree)
+	TauR     []int   // DFS numbers of R members along the R-subtree tour
+	EccW     int     // ecc(w), a free 2-approximation lower bound
+}
+
+// notifyNode is a one-shot program: every marked node tells its tree parent
+// that it is marked, so parents learn their marked children.
+type notifyNode struct {
+	Parent int
+	Marked bool
+
+	MarkedChildren []int
+
+	sent bool
+}
+
+func (nn *notifyNode) Send(env *Env) []Outbound {
+	if nn.sent {
+		return nil
+	}
+	nn.sent = true
+	if !nn.Marked || nn.Parent < 0 {
+		return nil
+	}
+	return []Outbound{{To: nn.Parent, Payload: msgChild{}, Bits: 1}}
+}
+
+func (nn *notifyNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		if _, ok := in.Payload.(msgChild); ok {
+			nn.MarkedChildren = append(nn.MarkedChildren, in.From)
+		}
+	}
+}
+
+func (nn *notifyNode) Done() bool { return nn.sent }
+
+// PrepareApprox runs Steps 1-3 of Figure 3 with target sample size s and
+// the given randomness seed. It retries the sampling (with derived seeds)
+// when Step 1's abort condition triggers or the sample is empty.
+func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPrep, Metrics, error) {
+	var total Metrics
+	n := g.N()
+	if s < 1 || s > n {
+		return nil, total, fmt.Errorf("congest: sample parameter s=%d out of [1,%d]", s, n)
+	}
+	info, m, err := Preprocess(g, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	total.Add(m)
+
+	prep := &ApproxPrep{Info: info}
+
+	// Step 1: each vertex joins S with probability (log n)/s, abort (and
+	// retry) when more than n(log n)^2/s vertices join.
+	logn := math.Log(float64(n)) + 1
+	prob := math.Min(1, logn/float64(s))
+	limit := int(float64(n)*logn*logn/float64(s)) + 1
+	for attempt := 0; ; attempt++ {
+		if attempt >= 16 {
+			return nil, total, fmt.Errorf("congest: sampling failed %d times", attempt)
+		}
+		rng := rand.New(rand.NewSource(seed + int64(attempt)*7919))
+		prep.S = make([]bool, n)
+		count := 0
+		for v := 0; v < n; v++ {
+			if rng.Float64() < prob {
+				prep.S[v] = true
+				count++
+			}
+		}
+		// The count check is a convergecast sum in the real network.
+		sum, m, err := Sum(g, info, boolToInt(prep.S), opts...)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Add(m)
+		if sum != count {
+			return nil, total, fmt.Errorf("congest: sum convergecast returned %d, want %d", sum, count)
+		}
+		if count >= 1 && count <= limit {
+			break
+		}
+	}
+
+	// Step 2: p(v) = closest member of S, then w = argmax d(v, p(v)).
+	nw, err := NewNetwork(g, func(v int) Node { return NewMinFloodNode(prep.S[v]) }, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	if err := nw.Run(4*n + 16); err != nil {
+		return nil, total, fmt.Errorf("min flood: %w", err)
+	}
+	total.Add(nw.Metrics())
+	distS := make([]int, n)
+	for v := 0; v < n; v++ {
+		distS[v] = nw.Node(v).(*MinFloodNode).Dist
+	}
+	_, w, m, err := ConvergecastMax(g, info, distS, nil, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	total.Add(m)
+	prep.W = w
+
+	// Broadcast w so every node can join the BFS from it.
+	bm, err := Broadcast(g, info, w, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	total.Add(bm)
+
+	// Step 3: BFS from w; the s closest vertices join R.
+	nw, err = NewNetwork(g, func(v int) Node { return NewBFSNode(w) }, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	if err := nw.Run(8*n + 16); err != nil {
+		return nil, total, fmt.Errorf("bfs from w: %w", err)
+	}
+	total.Add(nw.Metrics())
+	prep.WParent = make([]int, n)
+	prep.WDepth = make([]int, n)
+	prep.WNatural = make([][]int, n)
+	for v := 0; v < n; v++ {
+		b := nw.Node(v).(*BFSNode)
+		prep.WParent[v] = b.Parent
+		prep.WDepth[v] = b.Dist
+		prep.WNatural[v] = b.Children
+		if v == w {
+			prep.EccW = b.Ecc
+		}
+	}
+
+	// Select R: the s closest vertices to w, ties broken by id. Two
+	// distributed binary searches (threshold on depth, then on id within
+	// the boundary layer), each probe one convergecast sum + broadcast.
+	wInfo := &PreInfo{Leader: w, Parent: prep.WParent, Depth: prep.WDepth, Children: prep.WNatural, D: prep.EccW}
+	countAtMostDepth := func(t int) (int, error) {
+		vals := make([]int, n)
+		for v := 0; v < n; v++ {
+			if prep.WDepth[v] <= t {
+				vals[v] = 1
+			}
+		}
+		c, m, err := Sum(g, wInfo, vals, opts...)
+		total.Add(m)
+		if err != nil {
+			return 0, err
+		}
+		if bm, err2 := Broadcast(g, wInfo, t, opts...); err2 != nil {
+			return 0, err2
+		} else {
+			total.Add(bm)
+		}
+		return c, nil
+	}
+	lo, hi := 0, prep.EccW // smallest t with count(depth <= t) >= s
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c, err := countAtMostDepth(mid)
+		if err != nil {
+			return nil, total, err
+		}
+		if c >= s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	tStar := lo
+	below := 0
+	if tStar > 0 {
+		c, err := countAtMostDepth(tStar - 1)
+		if err != nil {
+			return nil, total, err
+		}
+		below = c
+	}
+	need := s - below // how many depth == tStar vertices to admit, by id
+	countLayerIDAtMost := func(theta int) (int, error) {
+		vals := make([]int, n)
+		for v := 0; v < n; v++ {
+			if prep.WDepth[v] == tStar && v <= theta {
+				vals[v] = 1
+			}
+		}
+		c, m, err := Sum(g, wInfo, vals, opts...)
+		total.Add(m)
+		if err != nil {
+			return 0, err
+		}
+		if bm, err2 := Broadcast(g, wInfo, theta, opts...); err2 != nil {
+			return 0, err2
+		} else {
+			total.Add(bm)
+		}
+		return c, nil
+	}
+	lo, hi = 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c, err := countLayerIDAtMost(mid)
+		if err != nil {
+			return nil, total, err
+		}
+		if c >= need {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	theta := lo
+	prep.RMembers = make([]bool, n)
+	for v := 0; v < n; v++ {
+		if prep.WDepth[v] < tStar || (prep.WDepth[v] == tStar && v <= theta) {
+			prep.RMembers[v] = true
+			prep.RSize++
+		}
+	}
+	if prep.RSize != s {
+		return nil, total, fmt.Errorf("congest: selected |R|=%d, want %d", prep.RSize, s)
+	}
+
+	// R members notify their BFS(w) parents, yielding the R-subtree.
+	nw, err = NewNetwork(g, func(v int) Node {
+		return &notifyNode{Parent: prep.WParent[v], Marked: prep.RMembers[v]}
+	}, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	if err := nw.Run(8); err != nil {
+		return nil, total, fmt.Errorf("R notify: %w", err)
+	}
+	total.Add(nw.Metrics())
+	prep.RChild = make([][]int, n)
+	for v := 0; v < n; v++ {
+		prep.RChild[v] = nw.Node(v).(*notifyNode).MarkedChildren
+	}
+
+	// DFS-number the R-subtree (full tour of 2(|R|-1) steps from w) so the
+	// final phases can pipeline by tau. R is ancestor-closed in BFS(w), so
+	// the R-subtree is a tree rooted at w.
+	steps := 2 * (prep.RSize - 1)
+	if steps < 1 {
+		steps = 1
+	}
+	tauR, m2, err := TokenWalk(g, wInfo, prep.RChild, w, steps, opts...)
+	if err != nil {
+		return nil, total, err
+	}
+	total.Add(m2)
+	prep.TauR = tauR
+	for v := 0; v < n; v++ {
+		if prep.RMembers[v] != (tauR[v] >= 0 || v == w) {
+			return nil, total, fmt.Errorf("congest: R-subtree walk missed vertex %d", v)
+		}
+	}
+	return prep, total, nil
+}
+
+// ClassicalApproxDiameter computes the [HPRW14] 3/2-approximation: after
+// PrepareApprox, the eccentricity of every vertex of R is computed with the
+// pipelined multi-source BFS and per-source maximum convergecast, and the
+// largest one is returned. The estimate Dhat satisfies
+// floor(2D/3) <= Dhat <= D with high probability. Rounds: Õ(s + D) with
+// s = ceil(sqrt(n)) by default.
+func ClassicalApproxDiameter(g *graph.Graph, s int, seed int64, opts ...Option) (ExactResult, error) {
+	var res ExactResult
+	n := g.N()
+	if n == 1 {
+		return ExactResult{Diameter: 0}, nil
+	}
+	if s <= 0 {
+		s = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if s > n {
+		s = n
+	}
+	prep, m, err := PrepareApprox(g, s, seed, opts...)
+	if err != nil {
+		return res, err
+	}
+	res.Metrics.Add(m)
+
+	// Multi-source BFS from R, sources identified by their tau rank.
+	maxRank := 0
+	for v := 0; v < n; v++ {
+		if prep.RMembers[v] && prep.TauR[v] > maxRank {
+			maxRank = prep.TauR[v]
+		}
+	}
+	sources := maxRank + 1
+	duration := sources + 2*prep.Info.D + 8
+	nw, err := NewNetwork(g, func(v int) Node {
+		rank := -1
+		if prep.RMembers[v] {
+			rank = prep.TauR[v]
+		}
+		return NewSSPNode(rank, sources, duration)
+	}, opts...)
+	if err != nil {
+		return res, err
+	}
+	if err := nw.Run(duration + 4); err != nil {
+		return res, fmt.Errorf("multi-source BFS: %w", err)
+	}
+	res.Metrics.Add(nw.Metrics())
+	dists := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		dists[v] = nw.Node(v).(*SSPNode).Dist
+	}
+
+	// Per-source maximum convergecast on BFS(w): ecc of each R member.
+	wInfo := &PreInfo{Leader: prep.W, Parent: prep.WParent, Depth: prep.WDepth, Children: prep.WNatural, D: prep.EccW}
+	nw, err = NewNetwork(g, func(v int) Node {
+		return NewSourceMaxNode(prep.WParent[v], prep.WNatural[v], prep.WDepth[v], wInfo.D, sources, dists[v])
+	}, opts...)
+	if err != nil {
+		return res, err
+	}
+	if err := nw.Run(wInfo.D + sources + 8); err != nil {
+		return res, fmt.Errorf("source max convergecast: %w", err)
+	}
+	res.Metrics.Add(nw.Metrics())
+	root := nw.Node(prep.W).(*SourceMaxNode)
+	best := 0
+	for _, e := range root.Max {
+		if e > best {
+			best = e
+		}
+	}
+	res.Diameter = best
+	return res, nil
+}
+
+func Sum(g *graph.Graph, info *PreInfo, values []int, opts ...Option) (int, Metrics, error) {
+	nw, err := NewNetwork(g, func(v int) Node {
+		return NewConvergecastSumNode(info.Parent[v], info.Children[v], values[v])
+	}, opts...)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	if err := nw.Run(4*g.N() + 16); err != nil {
+		return 0, nw.Metrics(), fmt.Errorf("sum convergecast: %w", err)
+	}
+	return nw.Node(info.Leader).(*ConvergecastSumNode).Sum, nw.Metrics(), nil
+}
+
+func Broadcast(g *graph.Graph, info *PreInfo, value int, opts ...Option) (Metrics, error) {
+	nw, err := NewNetwork(g, func(v int) Node {
+		return NewBroadcastNode(info.Parent[v], info.Children[v], value)
+	}, opts...)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if err := nw.Run(4*g.N() + 16); err != nil {
+		return nw.Metrics(), fmt.Errorf("broadcast: %w", err)
+	}
+	return nw.Metrics(), nil
+}
+
+func boolToInt(b []bool) []int {
+	out := make([]int, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}

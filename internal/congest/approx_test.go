@@ -1,0 +1,236 @@
+package congest
+
+import (
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+func TestMinFloodMatchesReference(t *testing.T) {
+	g := graph.RandomConnected(30, 0.08, 6)
+	members := make([]bool, g.N())
+	members[3], members[17], members[25] = true, true, true
+	nw, err := NewNetwork(g, func(v int) Node { return NewMinFloodNode(members[v]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(4 * g.N()); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: nearest member by (distance, id).
+	mat, err := g.DistanceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		bestD, bestS := -1, -1
+		for s := 0; s < g.N(); s++ {
+			if !members[s] {
+				continue
+			}
+			if bestD == -1 || mat[v][s] < bestD || (mat[v][s] == bestD && s < bestS) {
+				bestD, bestS = mat[v][s], s
+			}
+		}
+		node := nw.Node(v).(*MinFloodNode)
+		if node.Dist != bestD || node.Src != bestS {
+			t.Errorf("node %d: (%d,%d), want (%d,%d)", v, node.Dist, node.Src, bestD, bestS)
+		}
+	}
+}
+
+func TestConvergecastSum(t *testing.T) {
+	g := graph.CompleteBinaryTree(15)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, g.N())
+	want := 0
+	for v := range vals {
+		vals[v] = v * v
+		want += v * v
+	}
+	got, _, err := Sum(g, info, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestConvergecastMaxWitness(t *testing.T) {
+	g := graph.Grid(3, 5)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, g.N())
+	vals[7] = 99
+	vals[11] = 99
+	maxV, wit, _, err := ConvergecastMax(g, info, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxV != 99 || wit != 7 { // smallest witness wins ties
+		t.Errorf("max,witness = %d,%d want 99,7", maxV, wit)
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	g := graph.RandomConnected(20, 0.1, 2)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(g, func(v int) Node {
+		return NewBroadcastNode(info.Parent[v], info.Children[v], 4242)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(4 * g.N()); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if got := nw.Node(v).(*BroadcastNode).Value; got != 4242 {
+			t.Errorf("node %d: value %d", v, got)
+		}
+	}
+	if nw.Metrics().Rounds > info.D+2 {
+		t.Errorf("broadcast took %d rounds for height %d", nw.Metrics().Rounds, info.D)
+	}
+}
+
+func TestSSPMatchesReference(t *testing.T) {
+	g := graph.RandomConnected(28, 0.09, 11)
+	mat, err := g.DistanceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int{2, 9, 20} // ranks 0,1,2
+	rankOf := map[int]int{2: 0, 9: 1, 20: 2}
+	diam, _ := g.Diameter()
+	duration := len(sources) + 2*diam + 8
+	nw, err := NewNetwork(g, func(v int) Node {
+		r, ok := rankOf[v]
+		if !ok {
+			r = -1
+		}
+		return NewSSPNode(r, len(sources), duration)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(duration + 4); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		got := nw.Node(v).(*SSPNode).Dist
+		for src, rank := range rankOf {
+			if got[rank] != mat[v][src] {
+				t.Errorf("node %d source %d: dist %d, want %d", v, src, got[rank], mat[v][src])
+			}
+		}
+	}
+}
+
+func TestPrepareApproxInvariants(t *testing.T) {
+	g := graph.RandomConnected(40, 0.07, 13)
+	s := 8
+	prep, _, err := PrepareApprox(g, s, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.RSize != s {
+		t.Fatalf("|R| = %d, want %d", prep.RSize, s)
+	}
+	if !prep.RMembers[prep.W] {
+		t.Error("w must belong to R")
+	}
+	// R must be exactly the s closest vertices to w by (depth, id).
+	type key struct{ d, id int }
+	var all []key
+	for v := 0; v < g.N(); v++ {
+		all = append(all, key{prep.WDepth[v], v})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d < all[i].d || (all[j].d == all[i].d && all[j].id < all[i].id) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	want := map[int]bool{}
+	for i := 0; i < s; i++ {
+		want[all[i].id] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if prep.RMembers[v] != want[v] {
+			t.Errorf("vertex %d: in R = %v, want %v", v, prep.RMembers[v], want[v])
+		}
+	}
+	// R is ancestor-closed: the parent of any non-w member is a member.
+	for v := 0; v < g.N(); v++ {
+		if prep.RMembers[v] && v != prep.W {
+			if p := prep.WParent[v]; !prep.RMembers[p] {
+				t.Errorf("vertex %d in R but parent %d is not", v, p)
+			}
+		}
+	}
+	// tau values are unique and each R member except possibly w has one.
+	seen := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		if prep.TauR[v] >= 0 {
+			if seen[prep.TauR[v]] {
+				t.Errorf("duplicate tau %d", prep.TauR[v])
+			}
+			seen[prep.TauR[v]] = true
+			if !prep.RMembers[v] {
+				t.Errorf("non-member %d has tau", v)
+			}
+		}
+	}
+}
+
+func TestClassicalApproxQuality(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(30),
+		graph.Cycle(24),
+		graph.Grid(5, 6),
+		graph.RandomConnected(40, 0.06, 21),
+		graph.RandomConnected(40, 0.12, 22),
+		graph.Barbell(6, 8),
+		graph.SmallWorld(36, 2, 0.25, 23),
+	}
+	for gi, g := range graphs {
+		want, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ClassicalApproxDiameter(g, 0, int64(gi)+1)
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		got := res.Diameter
+		if got > want {
+			t.Errorf("graph %d: estimate %d exceeds true diameter %d", gi, got, want)
+		}
+		// 3/2-approximation: D <= ceil(3*(Dhat+1)/2). The +1 absorbs the
+		// floor in the [HPRW14] guarantee Dhat >= floor(2D/3).
+		if 2*want > 3*(got+1) {
+			t.Errorf("graph %d: estimate %d too small for diameter %d", gi, got, want)
+		}
+	}
+}
+
+func TestClassicalApproxBadParams(t *testing.T) {
+	g := graph.Path(10)
+	if _, _, err := PrepareApprox(g, 0, 1); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, _, err := PrepareApprox(g, 11, 1); err == nil {
+		t.Error("s>n accepted")
+	}
+}

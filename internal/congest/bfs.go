@@ -1,0 +1,179 @@
+package congest
+
+// This file implements the classical procedures of Section 3's
+// "Initialization": the distributed BFS-tree construction of Figure 1
+// (augmented with child discovery) and the convergecast that computes
+// ecc(root) at the root.
+
+// Wire payloads. Every payload's bit size is declared explicitly where it
+// is sent; all are O(log n).
+type (
+	// msgActivate is the Figure 1 activation message carrying the
+	// sender's distance to the root.
+	msgActivate struct{ Dist int }
+	// msgChild tells the receiver "you are my BFS parent".
+	msgChild struct{}
+	// msgEccReport carries the maximum root-distance in the sender's
+	// subtree toward the root.
+	msgEccReport struct{ Max int }
+)
+
+// BFSNode runs the Figure 1 BFS construction from a fixed root, augmented
+// with (a) child notification, so every node learns its tree children, and
+// (b) an event-driven convergecast of the maximum depth, so the root learns
+// ecc(root). Per-node core state (parent, distance, subtree max) is O(log n)
+// bits; the child set costs one bit per incident edge, the standard
+// port-local bookkeeping every tree aggregation needs.
+type BFSNode struct {
+	Root int
+
+	// Outputs.
+	Dist     int
+	Parent   int
+	Children []int
+	Ecc      int // meaningful at the root once done
+
+	activated      bool
+	activationSent bool
+	childNotified  bool
+	childrenFinal  bool
+	reported       bool
+	childReports   map[int]int
+	done           bool
+}
+
+// NewBFSNode returns the program for one node.
+func NewBFSNode(root int) *BFSNode {
+	return &BFSNode{Root: root, Dist: -1, Parent: -1, childReports: map[int]int{}}
+}
+
+// Send implements Node.
+func (b *BFSNode) Send(env *Env) []Outbound {
+	var out []Outbound
+	if env.ID == b.Root && !b.activated {
+		b.activated = true
+		b.Dist = 0
+	}
+	idBits := BitsForID(env.N)
+	if b.activated && !b.activationSent {
+		b.activationSent = true
+		for _, nb := range env.Neighbors {
+			out = append(out, Outbound{To: nb, Payload: msgActivate{Dist: b.Dist}, Bits: idBits})
+		}
+		if b.Parent >= 0 && !b.childNotified {
+			b.childNotified = true
+			out = append(out, Outbound{To: b.Parent, Payload: msgChild{}, Bits: 1})
+		}
+	}
+	if b.readyToReport() {
+		b.reported = true
+		maxDepth := b.subtreeMax()
+		if env.ID == b.Root {
+			b.Ecc = maxDepth
+			b.done = true
+		} else {
+			out = append(out, Outbound{To: b.Parent, Payload: msgEccReport{Max: maxDepth}, Bits: idBits})
+			b.done = true
+		}
+	}
+	return out
+}
+
+func (b *BFSNode) readyToReport() bool {
+	if !b.childrenFinal || b.reported {
+		return false
+	}
+	return len(b.childReports) == len(b.Children)
+}
+
+func (b *BFSNode) subtreeMax() int {
+	m := b.Dist
+	for _, v := range b.childReports {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Receive implements Node.
+func (b *BFSNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		switch p := in.Payload.(type) {
+		case msgActivate:
+			if !b.activated {
+				b.activated = true
+				b.Dist = p.Dist + 1
+				b.Parent = in.From // smallest id first: inbox sorted by sender
+			}
+		case msgChild:
+			b.Children = append(b.Children, in.From)
+		case msgEccReport:
+			b.childReports[in.From] = p.Max
+		}
+	}
+	// A node activated at the end of round r receives child notifications
+	// exactly at the end of round r+2 (children activate at r+1, notify at
+	// r+2). After that the child set is final.
+	if b.activated && !b.childrenFinal && env.Round >= b.Dist+2 {
+		b.childrenFinal = true
+	}
+}
+
+// Done implements Node.
+func (b *BFSNode) Done() bool { return b.done }
+
+// StateBits reports the O(log n)-bit core state (parent, distance, subtree
+// max) plus one bit per child flag.
+func (b *BFSNode) StateBits() int {
+	return 3*64 + len(b.Children) + len(b.childReports)*64
+}
+
+// LeaderElectNode floods the maximum node id. After global quiescence every
+// node's Leader field holds the maximum id in the network. Termination is
+// detected by the simulator's quiescence check, which stands in for the
+// standard O(D)-round termination detection the paper assumes.
+type LeaderElectNode struct {
+	Leader  int
+	pending bool
+	started bool
+}
+
+// NewLeaderElectNode returns the program for one node.
+func NewLeaderElectNode() *LeaderElectNode {
+	return &LeaderElectNode{Leader: -1}
+}
+
+// Send implements Node.
+func (l *LeaderElectNode) Send(env *Env) []Outbound {
+	if !l.started {
+		l.started = true
+		l.Leader = env.ID
+		l.pending = true
+	}
+	if !l.pending {
+		return nil
+	}
+	l.pending = false
+	out := make([]Outbound, 0, len(env.Neighbors))
+	for _, nb := range env.Neighbors {
+		out = append(out, Outbound{To: nb, Payload: msgActivate{Dist: l.Leader}, Bits: BitsForID(env.N)})
+	}
+	return out
+}
+
+// Receive implements Node.
+func (l *LeaderElectNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		if p, ok := in.Payload.(msgActivate); ok && p.Dist > l.Leader {
+			l.Leader = p.Dist
+			l.pending = true
+		}
+	}
+}
+
+// Done implements Node.
+func (l *LeaderElectNode) Done() bool { return l.started && !l.pending }
+
+// StateBits implements StateSizer.
+func (l *LeaderElectNode) StateBits() int { return 64 }

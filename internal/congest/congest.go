@@ -1,0 +1,256 @@
+// Package congest simulates the classical CONGEST model of Section 2.1 of
+// the paper: a synchronous network where, in every round, each node may send
+// one message of O(log n) bits to each neighbor.
+//
+// # Round semantics
+//
+// Rounds are numbered 1, 2, 3, ... In round r every node first sends
+// messages (computed from its state, which reflects everything received in
+// rounds < r) and then receives all messages sent to it in round r. A node
+// program implements both halves via Send and Receive. The engine stops at
+// the first round boundary at which every node reports Done; the number of
+// executed rounds is the algorithm's round complexity.
+//
+// # Bandwidth accounting
+//
+// Every outbound message declares its size in bits. The engine enforces
+// that the total bits sent over each directed edge in a round never exceeds
+// the configured bandwidth (default Θ(log n)); violations fail the run, so
+// passing tests prove the congestion claims (e.g. the paper's Lemma 4).
+package congest
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"qcongest/internal/graph"
+)
+
+// Inbound is a message as seen by its receiver.
+type Inbound struct {
+	From    int
+	Payload any
+	Bits    int
+}
+
+// Outbound is a message as produced by its sender.
+type Outbound struct {
+	To      int
+	Payload any
+	Bits    int
+}
+
+// Env is the read-only per-node view of the network that the engine passes
+// to node programs: everything a CONGEST node is allowed to know a priori
+// (its id, n, its incident edges) plus the current round number.
+type Env struct {
+	ID        int
+	N         int
+	Neighbors []int // ascending; must not be modified
+	Round     int   // current round, starting at 1
+}
+
+// Node is a per-node program.
+//
+// Send returns the messages the node transmits this round. Receive delivers
+// the messages sent to the node this round. Done reports whether the node
+// has fixed its output and has nothing further to send; once every node is
+// Done at a round boundary the run stops.
+type Node interface {
+	Send(env *Env) []Outbound
+	Receive(env *Env, inbox []Inbound)
+	Done() bool
+}
+
+// StateSizer is an optional interface: programs that implement it report
+// their current local memory footprint in bits, which the engine tracks so
+// tests can assert the paper's O(log n) space claims.
+type StateSizer interface {
+	StateBits() int
+}
+
+// Metrics aggregates the cost of a run.
+type Metrics struct {
+	Rounds        int // executed rounds
+	Messages      int // total messages delivered
+	Bits          int // total bits delivered
+	MaxEdgeBits   int // max bits over a directed edge in a single round
+	MaxStateBits  int // max per-node state bits observed (StateSizer nodes)
+	MaxInboxSize  int // max messages delivered to one node in one round
+	DroppedRounds int // rounds in which nothing was sent (idle rounds)
+}
+
+// Add accumulates other into m (used when composing phases).
+func (m *Metrics) Add(other Metrics) {
+	m.Rounds += other.Rounds
+	m.Messages += other.Messages
+	m.Bits += other.Bits
+	if other.MaxEdgeBits > m.MaxEdgeBits {
+		m.MaxEdgeBits = other.MaxEdgeBits
+	}
+	if other.MaxStateBits > m.MaxStateBits {
+		m.MaxStateBits = other.MaxStateBits
+	}
+	if other.MaxInboxSize > m.MaxInboxSize {
+		m.MaxInboxSize = other.MaxInboxSize
+	}
+	m.DroppedRounds += other.DroppedRounds
+}
+
+// Network couples a graph with one program per node and runs them in
+// synchronized rounds.
+type Network struct {
+	g         *graph.Graph
+	nodes     []Node
+	bandwidth int
+	metrics   Metrics
+	observer  func(round, from, to, bits int)
+}
+
+// DefaultBandwidth returns the bandwidth used when none is configured:
+// 4*ceil(log2 n) + 8 bits, enough for a constant number of vertex ids or
+// round counters per message, i.e. the paper's bw = O(log n). The additive
+// constant keeps two-counter messages legal on very small networks.
+func DefaultBandwidth(n int) int {
+	return 4*BitsForID(n) + 8
+}
+
+// BitsForID returns the number of bits needed to name one of n values (at
+// least 1).
+func BitsForID(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithBandwidth overrides the per-edge per-round bit budget.
+func WithBandwidth(bw int) Option {
+	return func(nw *Network) { nw.bandwidth = bw }
+}
+
+// WithObserver installs a callback invoked for every delivered message;
+// used by the lower-bound experiments to tally the traffic crossing a
+// vertex-partition cut (Theorem 10's simulation argument).
+func WithObserver(fn func(round, from, to, bits int)) Option {
+	return func(nw *Network) { nw.observer = fn }
+}
+
+// NewNetwork builds a network for graph g where node v runs make(v). The
+// graph must be connected (every algorithm in this repository assumes it).
+func NewNetwork(g *graph.Graph, make func(v int) Node, opts ...Option) (*Network, error) {
+	if !g.Connected() {
+		return nil, graph.ErrDisconnected
+	}
+	nw := &Network{
+		g:         g,
+		nodes:     make2(g.N(), make),
+		bandwidth: DefaultBandwidth(g.N()),
+	}
+	for _, o := range opts {
+		o(nw)
+	}
+	return nw, nil
+}
+
+func make2(n int, f func(v int) Node) []Node {
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = f(v)
+	}
+	return nodes
+}
+
+// Node returns the program running at vertex v (for extracting outputs
+// after a run).
+func (nw *Network) Node(v int) Node { return nw.nodes[v] }
+
+// Metrics returns the accumulated metrics of Run.
+func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// Bandwidth returns the per-edge per-round bit budget in force.
+func (nw *Network) Bandwidth() int { return nw.bandwidth }
+
+// Run executes rounds until every node is Done, or fails after maxRounds.
+func (nw *Network) Run(maxRounds int) error {
+	n := nw.g.N()
+	envs := make([]Env, n)
+	for v := 0; v < n; v++ {
+		envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v)}
+	}
+	inboxes := make([][]Inbound, n)
+	edgeBits := make(map[[2]int]int)
+
+	for round := 1; ; round++ {
+		allDone := true
+		for _, nd := range nw.nodes {
+			if !nd.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if round > maxRounds {
+			return fmt.Errorf("congest: no quiescence after %d rounds", maxRounds)
+		}
+		nw.metrics.Rounds = round
+
+		// Send half.
+		clear(edgeBits)
+		next := make([][]Inbound, n)
+		sent := 0
+		for v, nd := range nw.nodes {
+			envs[v].Round = round
+			for _, out := range nd.Send(&envs[v]) {
+				if !nw.g.HasEdge(v, out.To) {
+					return fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", round, v, out.To)
+				}
+				if out.Bits <= 0 {
+					return fmt.Errorf("congest: round %d: node %d sent message with non-positive size", round, v)
+				}
+				key := [2]int{v, out.To}
+				edgeBits[key] += out.Bits
+				if edgeBits[key] > nw.bandwidth {
+					return fmt.Errorf("congest: round %d: edge %d->%d exceeds bandwidth (%d > %d bits)",
+						round, v, out.To, edgeBits[key], nw.bandwidth)
+				}
+				if edgeBits[key] > nw.metrics.MaxEdgeBits {
+					nw.metrics.MaxEdgeBits = edgeBits[key]
+				}
+				next[out.To] = append(next[out.To], Inbound{From: v, Payload: out.Payload, Bits: out.Bits})
+				nw.metrics.Messages++
+				nw.metrics.Bits += out.Bits
+				if nw.observer != nil {
+					nw.observer(round, v, out.To, out.Bits)
+				}
+				sent++
+			}
+		}
+		if sent == 0 {
+			nw.metrics.DroppedRounds++
+		}
+
+		// Receive half: deterministic delivery order (by sender id).
+		for v := range next {
+			sort.Slice(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+			if len(next[v]) > nw.metrics.MaxInboxSize {
+				nw.metrics.MaxInboxSize = len(next[v])
+			}
+		}
+		inboxes = next
+		for v, nd := range nw.nodes {
+			nd.Receive(&envs[v], inboxes[v])
+			if s, ok := nd.(StateSizer); ok {
+				if b := s.StateBits(); b > nw.metrics.MaxStateBits {
+					nw.metrics.MaxStateBits = b
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package congest
+
+import (
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+func TestDefaultBandwidth(t *testing.T) {
+	if bw := DefaultBandwidth(1024); bw != 48 {
+		t.Errorf("DefaultBandwidth(1024) = %d, want 48", bw)
+	}
+	if BitsForID(1) != 1 || BitsForID(2) != 1 || BitsForID(3) != 2 || BitsForID(1024) != 10 {
+		t.Error("BitsForID wrong")
+	}
+}
+
+func TestNetworkRejectsDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := NewNetwork(g, func(v int) Node { return NewLeaderElectNode() }); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+// a node that sends to a non-neighbor, to exercise engine validation.
+type rogueNode struct{ sent bool }
+
+func (r *rogueNode) Send(env *Env) []Outbound {
+	if r.sent {
+		return nil
+	}
+	r.sent = true
+	return []Outbound{{To: (env.ID + 2) % env.N, Payload: 1, Bits: 1}}
+}
+func (r *rogueNode) Receive(env *Env, inbox []Inbound) {}
+func (r *rogueNode) Done() bool                        { return r.sent }
+
+func TestEngineRejectsNonNeighborSend(t *testing.T) {
+	g := graph.Path(4)
+	nw, err := NewNetwork(g, func(v int) Node { return &rogueNode{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(10); err == nil {
+		t.Error("send to non-neighbor accepted")
+	}
+}
+
+// a node that floods oversized messages.
+type hogNode struct{ sent bool }
+
+func (h *hogNode) Send(env *Env) []Outbound {
+	if h.sent {
+		return nil
+	}
+	h.sent = true
+	if env.ID != 0 {
+		return nil
+	}
+	return []Outbound{{To: env.Neighbors[0], Payload: 0, Bits: 1 << 20}}
+}
+func (h *hogNode) Receive(env *Env, inbox []Inbound) {}
+func (h *hogNode) Done() bool                        { return h.sent }
+
+func TestEngineEnforcesBandwidth(t *testing.T) {
+	g := graph.Path(3)
+	nw, err := NewNetwork(g, func(v int) Node { return &hogNode{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(10); err == nil {
+		t.Error("bandwidth violation accepted")
+	}
+	// With a big explicit bandwidth the same program passes.
+	nw, err = NewNetwork(g, func(v int) Node { return &hogNode{} }, WithBandwidth(1<<21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(10); err != nil {
+		t.Errorf("run with raised bandwidth: %v", err)
+	}
+}
+
+func TestEngineTimesOut(t *testing.T) {
+	g := graph.Path(2)
+	// LeaderElect quiesces fast; instead use a never-done node.
+	nw, err := NewNetwork(g, func(v int) Node { return neverDone{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(5); err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+type neverDone struct{}
+
+func (neverDone) Send(env *Env) []Outbound          { return nil }
+func (neverDone) Receive(env *Env, inbox []Inbound) {}
+func (neverDone) Done() bool                        { return false }
+
+func TestLeaderElection(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(12)},
+		{"cycle", graph.Cycle(9)},
+		{"random", graph.RandomConnected(25, 0.1, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := NewNetwork(tc.g, func(v int) Node { return NewLeaderElectNode() })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nw.Run(4 * tc.g.N()); err != nil {
+				t.Fatal(err)
+			}
+			want := tc.g.N() - 1
+			for v := 0; v < tc.g.N(); v++ {
+				if got := nw.Node(v).(*LeaderElectNode).Leader; got != want {
+					t.Errorf("node %d elected %d, want %d", v, got, want)
+				}
+			}
+			d, _ := tc.g.Diameter()
+			if r := nw.Metrics().Rounds; r > d+2 {
+				t.Errorf("leader election took %d rounds, want <= D+2 = %d", r, d+2)
+			}
+		})
+	}
+}
+
+func TestBFSProgramMatchesReference(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(10),
+		graph.Cycle(11),
+		graph.Grid(4, 6),
+		graph.CompleteBinaryTree(15),
+		graph.RandomConnected(30, 0.08, 2),
+		graph.RandomConnected(30, 0.25, 3),
+	}
+	for gi, g := range graphs {
+		root := g.N() - 1
+		refDist, refParent := g.BFS(root)
+		refEcc, _ := g.Eccentricity(root)
+		nw, err := NewNetwork(g, func(v int) Node { return NewBFSNode(root) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Run(8 * g.N()); err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			b := nw.Node(v).(*BFSNode)
+			if b.Dist != refDist[v] {
+				t.Errorf("graph %d node %d: dist %d, want %d", gi, v, b.Dist, refDist[v])
+			}
+			if b.Parent != refParent[v] {
+				t.Errorf("graph %d node %d: parent %d, want %d", gi, v, b.Parent, refParent[v])
+			}
+		}
+		if got := nw.Node(root).(*BFSNode).Ecc; got != refEcc {
+			t.Errorf("graph %d: ecc at root %d, want %d", gi, got, refEcc)
+		}
+		// Children lists must match the reference tree.
+		tree, err := graph.NewBFSTree(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			got := append([]int(nil), nw.Node(v).(*BFSNode).Children...)
+			want := tree.Child[v]
+			if len(got) != len(want) {
+				t.Fatalf("graph %d node %d: children %v, want %v", gi, v, got, want)
+			}
+			gotSet := map[int]bool{}
+			for _, c := range got {
+				gotSet[c] = true
+			}
+			for _, c := range want {
+				if !gotSet[c] {
+					t.Fatalf("graph %d node %d: children %v, want %v", gi, v, got, want)
+				}
+			}
+		}
+		// The whole construction is O(D): BFS + child notify + convergecast.
+		if r := nw.Metrics().Rounds; r > 2*refEcc+6 {
+			t.Errorf("graph %d: BFS construction took %d rounds, want <= %d", gi, r, 2*refEcc+6)
+		}
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	g := graph.RandomConnected(40, 0.07, 5)
+	info, m, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Leader != 39 {
+		t.Errorf("leader = %d, want 39", info.Leader)
+	}
+	wantD, _ := g.Eccentricity(39)
+	if info.D != wantD {
+		t.Errorf("d = %d, want %d", info.D, wantD)
+	}
+	diam, _ := g.Diameter()
+	if m.Rounds > 8*diam+20 {
+		t.Errorf("preprocess took %d rounds for diameter %d", m.Rounds, diam)
+	}
+}
+
+func TestTokenWalkFullTourMatchesReference(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(9),
+		graph.CompleteBinaryTree(15),
+		graph.RandomConnected(26, 0.1, 7),
+		graph.Grid(5, 5),
+	}
+	for gi, g := range graphs {
+		info, _, err := Preprocess(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := graph.NewBFSTree(g, info.Leader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refTau := tree.DFSNumbering()
+		tau, m, err := TokenWalk(g, info, info.Children, info.Leader, 2*(g.N()-1))
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if tau[v] != refTau[v] {
+				t.Errorf("graph %d vertex %d: tau %d, want %d", gi, v, tau[v], refTau[v])
+			}
+		}
+		if m.Rounds != 2*(g.N()-1) {
+			t.Errorf("graph %d: walk rounds %d, want %d", gi, m.Rounds, 2*(g.N()-1))
+		}
+	}
+}
+
+func TestTokenWalkWindowMatchesSetS(t *testing.T) {
+	g := graph.RandomConnected(24, 0.09, 9)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := graph.NewBFSTree(g, info.Leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+	for u0 := 0; u0 < g.N(); u0++ {
+		tau, _, err := TokenWalk(g, info, info.Children, u0, 2*d)
+		if err != nil {
+			t.Fatalf("u0=%d: %v", u0, err)
+		}
+		want := map[int]bool{}
+		for _, v := range tree.SetS(u0, d) {
+			want[v] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			if (tau[v] >= 0) != want[v] {
+				t.Errorf("u0=%d vertex %d: visited=%v, want %v", u0, v, tau[v] >= 0, want[v])
+			}
+		}
+		// Lemma 2 (first half): tau'(v) = tau(v) - tau(u0) mod tour length.
+		refTau := tree.DFSNumbering()
+		total := tree.TourLength()
+		for v := 0; v < g.N(); v++ {
+			if tau[v] < 0 {
+				continue
+			}
+			delta := refTau[v] - refTau[u0]
+			if delta < 0 {
+				delta += total
+			}
+			if tau[v] != delta {
+				t.Errorf("u0=%d vertex %d: tau' = %d, want %d", u0, v, tau[v], delta)
+			}
+		}
+	}
+}
+
+func TestClassicalExactDiameter(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(14),
+		graph.Cycle(15),
+		graph.Star(10),
+		graph.Grid(4, 7),
+		graph.CompleteBinaryTree(31),
+		graph.Hypercube(4),
+		graph.Barbell(5, 4),
+		graph.RandomConnected(35, 0.06, 1),
+		graph.RandomConnected(35, 0.15, 2),
+		graph.SmallWorld(40, 2, 0.2, 3),
+	}
+	for gi, g := range graphs {
+		want, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ClassicalExactDiameter(g)
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		if res.Diameter != want {
+			t.Errorf("graph %d: diameter %d, want %d", gi, res.Diameter, want)
+		}
+		// Linear-round upper bound with explicit constant: walk 2n +
+		// waves (4n + 2D) + preprocessing and aggregation O(D), D < n.
+		if res.Metrics.Rounds > 14*g.N()+60 {
+			t.Errorf("graph %d: %d rounds for n=%d", gi, res.Metrics.Rounds, g.N())
+		}
+	}
+}
+
+func TestClassicalExactTinyGraphs(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		g := graph.Path(n)
+		res, err := ClassicalExactDiameter(g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Diameter != n-1 && !(n == 1 && res.Diameter == 0) {
+			t.Errorf("n=%d: diameter %d, want %d", n, res.Diameter, n-1)
+		}
+	}
+}
+
+// The wave process on a window computes max ecc over S(u0): this is the
+// classical core of the paper's Evaluation procedure (Figure 2).
+func TestWindowedWaveComputesMaxEccOverS(t *testing.T) {
+	g := graph.RandomConnected(22, 0.1, 4)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := graph.NewBFSTree(g, info.Leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccs, err := g.AllEccentricities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+	for u0 := 0; u0 < g.N(); u0 += 3 {
+		tau, _, err := TokenWalk(g, info, info.Children, u0, 2*d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := EccentricitiesOf(g, info, tau, 6*d+2)
+		if err != nil {
+			t.Fatalf("u0=%d: %v", u0, err)
+		}
+		want := 0
+		for _, v := range tree.SetS(u0, d) {
+			if eccs[v] > want {
+				want = eccs[v]
+			}
+		}
+		if got != want {
+			t.Errorf("u0=%d: max ecc over S = %d, want %d", u0, got, want)
+		}
+	}
+}
+
+func TestWaveMemoryIsLogarithmic(t *testing.T) {
+	g := graph.RandomConnected(50, 0.05, 8)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, _, err := TokenWalk(g, info, info.Children, info.Leader, 2*(g.N()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	duration := 4*(g.N()-1) + 2*info.D + 2
+	nw, err := NewNetwork(g, func(v int) Node { return NewWaveNode(tau[v] >= 0, tau[v], duration) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(duration + 4); err != nil {
+		t.Fatal(err)
+	}
+	// Four machine words: tv, dv, one buffered (tau, delta) pair.
+	if nw.Metrics().MaxStateBits > 4*64 {
+		t.Errorf("wave node state %d bits, want <= 256", nw.Metrics().MaxStateBits)
+	}
+}

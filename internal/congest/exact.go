@@ -1,0 +1,92 @@
+package congest
+
+import (
+	"fmt"
+
+	"qcongest/internal/graph"
+)
+
+// ExactResult reports the outcome of a diameter algorithm together with its
+// measured cost.
+type ExactResult struct {
+	Diameter int
+	Metrics  Metrics
+}
+
+// ClassicalExactDiameter computes the exact diameter with the classical
+// O(n)-round scheme of Peleg, Roditty and Tal [PRT12] that Section 3.3 of
+// the paper refines: after preprocessing, a token DFS-numbers every vertex
+// along the full Euler tour of BFS(leader) (2(n-1) rounds), every vertex v
+// starts a BFS wave at round 2*tau(v) (the waves never collide, Lemmas
+// 2-4), each node records the largest distance any wave needed to reach it,
+// and a final convergecast returns the maximum — the diameter — to the
+// leader.
+//
+// Total round complexity: Theta(n) + O(D), the classical baseline of
+// Table 1 row "Exact computation".
+func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error) {
+	var res ExactResult
+	n := g.N()
+	if n == 0 {
+		return res, fmt.Errorf("congest: empty graph")
+	}
+	if n == 1 {
+		return ExactResult{Diameter: 0}, nil
+	}
+
+	info, m, err := Preprocess(g, opts...)
+	if err != nil {
+		return res, err
+	}
+	res.Metrics.Add(m)
+
+	// Full Euler tour: every vertex receives tau = its DFS number.
+	tourLen := 2 * (n - 1)
+	tau, m, err := TokenWalk(g, info, info.Children, info.Leader, tourLen, opts...)
+	if err != nil {
+		return res, err
+	}
+	res.Metrics.Add(m)
+	for v, t := range tau {
+		if t < 0 {
+			return res, fmt.Errorf("congest: vertex %d missed by full DFS walk", v)
+		}
+	}
+
+	// Wave phase: last initiation at 2*tourLen, propagation <= 2d.
+	duration := 2*tourLen + 2*info.D + 2
+	dv, m, err := Wave(g, tau, duration, opts...)
+	if err != nil {
+		return res, err
+	}
+	res.Metrics.Add(m)
+
+	// Convergecast of max dv: the diameter.
+	diam, _, m, err := ConvergecastMax(g, info, dv, nil, opts...)
+	if err != nil {
+		return res, err
+	}
+	res.Metrics.Add(m)
+	res.Diameter = diam
+	return res, nil
+}
+
+// EccentricitiesOf computes, for a set S given as tau' assignments
+// (tau[v] >= 0 iff v in S), the value max_{u in S} ecc(u) by the wave
+// process plus a convergecast; it is the classical core that the quantum
+// Evaluation procedure (Figure 2) quantizes. waveDuration must be at least
+// 2*max(tau') + 2*ecc bounds; callers derive it from d.
+func EccentricitiesOf(g *graph.Graph, info *PreInfo, tau []int, waveDuration int, opts ...Option) (int, Metrics, error) {
+	var total Metrics
+	dv, m, err := Wave(g, tau, waveDuration, opts...)
+	if err != nil {
+		return 0, total, err
+	}
+	total.Add(m)
+	maxEcc, _, m, err := ConvergecastMax(g, info, dv, nil, opts...)
+	if err != nil {
+		return 0, total, err
+	}
+	total.Add(m)
+	return maxEcc, total, nil
+}

@@ -1,0 +1,293 @@
+package congest
+
+import "sort"
+
+// Programs used by the 3/2-approximation preparation (Figure 3 of the
+// paper, following Algorithm 1 of [HPRW14]): nearest-member flooding,
+// convergecast sums for distributed counting, pipelined multi-source
+// shortest paths from the set R, and the pipelined per-source maximum
+// convergecast that turns those distances into eccentricities.
+
+type (
+	// msgNear carries (distance to nearest member, member id).
+	msgNear struct {
+		Dist int
+		Src  int
+	}
+	// msgSum carries a partial sum up the tree.
+	msgSum struct{ Sum int }
+	// msgPair is one (source rank, distance) pair of the pipelined
+	// multi-source BFS.
+	msgPair struct {
+		Src  int
+		Dist int
+	}
+	// msgSrcMax carries the subtree maximum for one source rank.
+	msgSrcMax struct {
+		Src int
+		Max int
+	}
+)
+
+// MinFloodNode computes, at every node, the distance to the nearest member
+// of a vertex set and the id of that member (the p(v) of Figure 3 Step 2).
+// Members start a wave at distance 0; nodes re-broadcast whenever their
+// best (distance, id) improves. O(D) rounds, one message per edge per
+// round.
+type MinFloodNode struct {
+	Member bool
+
+	// Outputs.
+	Dist int // distance to nearest member (-1 if none exist)
+	Src  int // its id (-1 if none)
+
+	pending bool
+	started bool
+}
+
+// NewMinFloodNode builds the program for one node.
+func NewMinFloodNode(member bool) *MinFloodNode {
+	return &MinFloodNode{Member: member, Dist: -1, Src: -1}
+}
+
+// Send implements Node.
+func (m *MinFloodNode) Send(env *Env) []Outbound {
+	if !m.started {
+		m.started = true
+		if m.Member {
+			m.Dist, m.Src = 0, env.ID
+			m.pending = true
+		}
+	}
+	if !m.pending {
+		return nil
+	}
+	m.pending = false
+	bits := 2 * BitsForID(env.N)
+	out := make([]Outbound, 0, len(env.Neighbors))
+	for _, nb := range env.Neighbors {
+		out = append(out, Outbound{To: nb, Payload: msgNear{Dist: m.Dist + 1, Src: m.Src}, Bits: bits})
+	}
+	return out
+}
+
+// Receive implements Node.
+func (m *MinFloodNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		p, ok := in.Payload.(msgNear)
+		if !ok {
+			continue
+		}
+		if m.Dist == -1 || p.Dist < m.Dist || (p.Dist == m.Dist && p.Src < m.Src) {
+			m.Dist, m.Src = p.Dist, p.Src
+			m.pending = true
+		}
+	}
+}
+
+// Done implements Node.
+func (m *MinFloodNode) Done() bool { return m.started && !m.pending }
+
+// StateBits implements StateSizer.
+func (m *MinFloodNode) StateBits() int { return 2 * 64 }
+
+// ConvergecastSumNode aggregates the sum of per-node values at the root;
+// used for distributed counting (|S| in Figure 3 Step 1, rank counts during
+// the selection of R).
+type ConvergecastSumNode struct {
+	Parent   int
+	Children []int
+	Value    int
+
+	Sum int // output at the root
+
+	received int
+	sent     bool
+}
+
+// NewConvergecastSumNode builds the program for one node.
+func NewConvergecastSumNode(parent int, children []int, value int) *ConvergecastSumNode {
+	return &ConvergecastSumNode{Parent: parent, Children: append([]int(nil), children...), Value: value, Sum: value}
+}
+
+// Send implements Node.
+func (c *ConvergecastSumNode) Send(env *Env) []Outbound {
+	if c.sent || c.received < len(c.Children) {
+		return nil
+	}
+	c.sent = true
+	if c.Parent < 0 {
+		return nil
+	}
+	return []Outbound{{To: c.Parent, Payload: msgSum{Sum: c.Sum}, Bits: 2 * BitsForID(env.N)}}
+}
+
+// Receive implements Node.
+func (c *ConvergecastSumNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		if p, ok := in.Payload.(msgSum); ok {
+			c.received++
+			c.Sum += p.Sum
+		}
+	}
+}
+
+// Done implements Node.
+func (c *ConvergecastSumNode) Done() bool { return c.sent }
+
+// StateBits implements StateSizer.
+func (c *ConvergecastSumNode) StateBits() int { return 2 * 64 }
+
+// SSPNode runs the pipelined multi-source BFS of [HPRW14]/[LP13]: every
+// node learns its distance to each of the k ranked sources. Each node
+// forwards at most one new (source, distance) pair per round, smallest
+// (distance, source) first; the standard pipelining argument delivers all
+// pairs within k + ecc rounds. Per-node memory is O(k log n) bits — this
+// is the part of the 3/2-approximation that the paper notes requires
+// polynomial classical memory (the quantum phase does not).
+type SSPNode struct {
+	Rank     int // source rank in [0,k), or -1
+	Sources  int // k
+	Duration int
+
+	Dist map[int]int // output: source rank -> distance
+
+	queue    []msgPair // pending pairs, kept sorted by (Dist, Src)
+	finished bool
+}
+
+// NewSSPNode builds the program for one node; rank is -1 for non-sources.
+func NewSSPNode(rank, sources, duration int) *SSPNode {
+	n := &SSPNode{Rank: rank, Sources: sources, Duration: duration, Dist: map[int]int{}}
+	if rank >= 0 {
+		n.Dist[rank] = 0
+		n.queue = append(n.queue, msgPair{Src: rank, Dist: 0})
+	}
+	return n
+}
+
+// Send implements Node.
+func (s *SSPNode) Send(env *Env) []Outbound {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	p := s.queue[0]
+	s.queue = s.queue[1:]
+	bits := 2 * BitsForID(2*env.N)
+	out := make([]Outbound, 0, len(env.Neighbors))
+	for _, nb := range env.Neighbors {
+		out = append(out, Outbound{To: nb, Payload: msgPair{Src: p.Src, Dist: p.Dist + 1}, Bits: bits})
+	}
+	return out
+}
+
+// Receive implements Node.
+func (s *SSPNode) Receive(env *Env, inbox []Inbound) {
+	updated := false
+	for _, in := range inbox {
+		p, ok := in.Payload.(msgPair)
+		if !ok {
+			continue
+		}
+		if d, seen := s.Dist[p.Src]; !seen || p.Dist < d {
+			s.Dist[p.Src] = p.Dist
+			s.enqueue(p)
+			updated = true
+		}
+	}
+	if updated {
+		sort.Slice(s.queue, func(i, j int) bool {
+			if s.queue[i].Dist != s.queue[j].Dist {
+				return s.queue[i].Dist < s.queue[j].Dist
+			}
+			return s.queue[i].Src < s.queue[j].Src
+		})
+	}
+	if env.Round >= s.Duration {
+		s.finished = true
+		s.queue = nil
+	}
+}
+
+func (s *SSPNode) enqueue(p msgPair) {
+	// Drop any stale queued pair for the same source.
+	for i := range s.queue {
+		if s.queue[i].Src == p.Src {
+			s.queue[i] = p
+			return
+		}
+	}
+	s.queue = append(s.queue, p)
+}
+
+// Done implements Node.
+func (s *SSPNode) Done() bool { return s.finished }
+
+// SourceMaxNode convergecasts, for each ranked source, the maximum over all
+// vertices of the source's distance — i.e. ecc(source) — to the tree root,
+// pipelined one source per round: a node at depth k transmits source i's
+// subtree maximum at relative round (d - k) + i + 1. Duration d + sources +
+// 2 rounds, one O(log n)-bit message per tree edge per round.
+type SourceMaxNode struct {
+	Parent   int
+	Children []int
+	Depth    int
+	D        int // tree height bound used for the schedule
+	Sources  int
+	Dist     map[int]int // this node's distance to each source
+
+	Max map[int]int // per-source subtree max (output at root)
+
+	finished bool
+}
+
+// NewSourceMaxNode builds the program for one node.
+func NewSourceMaxNode(parent int, children []int, depth, d, sources int, dist map[int]int) *SourceMaxNode {
+	m := &SourceMaxNode{
+		Parent:   parent,
+		Children: append([]int(nil), children...),
+		Depth:    depth,
+		D:        d,
+		Sources:  sources,
+		Dist:     dist,
+		Max:      make(map[int]int, sources),
+	}
+	for src, dd := range dist {
+		m.Max[src] = dd
+	}
+	return m
+}
+
+// Send implements Node.
+func (s *SourceMaxNode) Send(env *Env) []Outbound {
+	if s.Parent < 0 {
+		return nil
+	}
+	// Relative round r transmits source i = r - (D - depth) - 1.
+	i := env.Round - (s.D - s.Depth) - 1
+	if i < 0 || i >= s.Sources {
+		return nil
+	}
+	return []Outbound{{
+		To:      s.Parent,
+		Payload: msgSrcMax{Src: i, Max: s.Max[i]},
+		Bits:    2 * BitsForID(2*env.N),
+	}}
+}
+
+// Receive implements Node.
+func (s *SourceMaxNode) Receive(env *Env, inbox []Inbound) {
+	for _, in := range inbox {
+		if p, ok := in.Payload.(msgSrcMax); ok {
+			if p.Max > s.Max[p.Src] {
+				s.Max[p.Src] = p.Max
+			}
+		}
+	}
+	if env.Round >= s.D+s.Sources+1 {
+		s.finished = true
+	}
+}
+
+// Done implements Node.
+func (s *SourceMaxNode) Done() bool { return s.finished }

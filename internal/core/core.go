@@ -1,0 +1,308 @@
+// Package core implements the paper's primary contribution: quantum
+// distributed algorithms for the diameter in the CONGEST model.
+//
+//   - ExactDiameterSimple — the Õ(sqrt(n)·D)-round algorithm of Section 3.1
+//     (quantum optimization of f(u) = ecc(u) over all vertices);
+//   - ExactDiameter — the Õ(sqrt(n·D))-round algorithm of Section 3.2
+//     (Theorem 1), which optimizes f(u) = max_{v in S(u)} ecc(v) with the
+//     window sets S(u) of Definition 2 and the Evaluation procedure of
+//     Figure 2;
+//   - ApproxDiameter — the Õ(cbrt(n·D) + D)-round 3/2-approximation of
+//     Section 4 (Theorem 4), which restricts the optimization to the set R
+//     of the s closest vertices to the vertex w found by the [HPRW14]
+//     preparation.
+//
+// Every Evaluation is executed as a real message-passing CONGEST program
+// (internal/congest) whose round count is measured, and the quantum layer
+// charges rounds per Theorem 7 (internal/qcongest).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+	"qcongest/internal/qcongest"
+)
+
+// Result reports a quantum diameter computation together with its measured
+// costs.
+type Result struct {
+	// Diameter is the computed value (for ApproxDiameter, the estimate).
+	Diameter int
+	// Rounds is the total quantum round complexity per Theorem 7.
+	Rounds int
+	// InitRounds, SetupRounds and EvalRounds are the measured costs of the
+	// three framework operations (Evaluation: one classical execution).
+	InitRounds  int
+	SetupRounds int
+	EvalRounds  int
+	// Iterations is the number of amplitude-amplification steps performed.
+	Iterations int
+	// LeaderQubits / NodeQubits are the quantum memory accounting.
+	LeaderQubits int
+	NodeQubits   int
+}
+
+// Options configures the quantum algorithms.
+type Options struct {
+	// Delta is the per-optimization failure probability (default 0.1).
+	Delta float64
+	// Seed drives all measurements.
+	Seed int64
+	// S overrides the sample size of ApproxDiameter (default
+	// n^{2/3} / d^{1/3} per Theorem 4).
+	S int
+}
+
+func (o Options) delta() float64 {
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return 0.1
+	}
+	return o.Delta
+}
+
+// ErrTrivial marks graphs handled without any quantum phase (n <= 2).
+var errTrivial = errors.New("core: trivial instance")
+
+func trivialDiameter(g *graph.Graph) (Result, error) {
+	switch g.N() {
+	case 0, 1:
+		return Result{Diameter: 0}, nil
+	case 2:
+		return Result{Diameter: 1}, nil
+	}
+	return Result{}, errTrivial
+}
+
+// ExactDiameterSimple runs the Section 3.1 algorithm: quantum maximum
+// finding over f(u) = ecc(u) with P_opt >= 1/n, giving Õ(sqrt(n)·D) rounds.
+func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
+	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
+		return r, err
+	}
+	info, pre, err := congest.Preprocess(g)
+	if err != nil {
+		return Result{}, err
+	}
+	n := g.N()
+	d := info.D
+
+	// Evaluation for input u0: a single wave from u0 (a scheduled BFS)
+	// followed by a convergecast of max dv to the leader — the Section 3.1
+	// procedure "build BFS(u0), converge-cast ecc(u0)".
+	waveDuration := 2*d + 1
+	eval := func(u0 int) (int, int, error) {
+		tau := singleInitiator(n, u0)
+		value, m, err := congest.EccentricitiesOf(g, info, tau, waveDuration)
+		if err != nil {
+			return 0, 0, err
+		}
+		return value, m.Rounds, nil
+	}
+
+	return runOptimization(g, info, eval, optimizationParams{
+		domain:      identityDomain(n),
+		eps:         1 / float64(n),
+		delta:       opts.delta(),
+		seed:        opts.Seed,
+		initRounds:  pre.Rounds,
+		setupRounds: d + 1,
+	})
+}
+
+// ExactDiameter runs the Theorem 1 algorithm (Section 3.2): quantum maximum
+// finding over f(u0) = max_{v in S(u0)} ecc(v), where S(u0) covers every
+// vertex with probability >= d/2n (Lemma 1), giving Õ(sqrt(n·D)) rounds.
+func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
+	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
+		return r, err
+	}
+	info, pre, err := congest.Preprocess(g)
+	if err != nil {
+		return Result{}, err
+	}
+	n := g.N()
+	d := info.D
+
+	// Evaluation for input u0 is exactly Figure 2: a 2d-step DFS walk from
+	// u0 assigning tau', the 6d-round wave process over S(u0), and the
+	// bottom-up max convergecast. All three phases have input-independent
+	// round counts.
+	eval := func(u0 int) (int, int, error) {
+		tau, mWalk, err := congest.TokenWalk(g, info, info.Children, u0, 2*d)
+		if err != nil {
+			return 0, 0, err
+		}
+		value, mRest, err := congest.EccentricitiesOf(g, info, tau, 6*d+2)
+		if err != nil {
+			return 0, 0, err
+		}
+		return value, mWalk.Rounds + mRest.Rounds, nil
+	}
+
+	eps := float64(d) / (2 * float64(n)) // Lemma 1
+	if eps > 1 {
+		eps = 1
+	}
+	return runOptimization(g, info, eval, optimizationParams{
+		domain:      identityDomain(n),
+		eps:         eps,
+		delta:       opts.delta(),
+		seed:        opts.Seed,
+		initRounds:  pre.Rounds,
+		setupRounds: d + 1,
+	})
+}
+
+// ApproxDiameter runs the Theorem 4 algorithm (Section 4, Figure 3): the
+// [HPRW14] preparation selects the set R of the s closest vertices to w,
+// and quantum optimization computes max_{v in R} ecc(v) in Õ(sqrt(s·D))
+// rounds. With s = Theta(n^{2/3} D^{-1/3}) the total is Õ(cbrt(n·D) + D),
+// and the output Dhat satisfies floor(2D/3) <= Dhat <= D with high
+// probability.
+func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
+	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
+		return r, err
+	}
+	n := g.N()
+
+	// Choose s = n^{2/3} d^{-1/3} using the free 2-approximation
+	// d = ecc(leader); a preliminary Preprocess supplies d.
+	infoProbe, _, err := congest.Preprocess(g)
+	if err != nil {
+		return Result{}, err
+	}
+	dProbe := infoProbe.D
+	s := opts.S
+	if s <= 0 {
+		s = int(math.Ceil(math.Pow(float64(n), 2.0/3.0) / math.Pow(math.Max(1, float64(dProbe)), 1.0/3.0)))
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+
+	prep, preM, err := congest.PrepareApprox(g, s, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	info := prep.Info
+	d := info.D
+
+	// The window width on the R-subtree tour: Lemma 1's argument needs the
+	// window to exceed the subtree depth by 2d, so that any window ending
+	// in a top-down move contains at least d top-down moves. (The paper
+	// keeps the width 2d and replaces "mod 2n" by "mod 2s"; widening to
+	// 2(tStar + d) preserves both the O(D) evaluation cost, since tStar <=
+	// ecc(w) <= 2d, and the coverage bound P_opt >= d/2s.)
+	tStar := 0
+	for v := 0; v < n; v++ {
+		if prep.RMembers[v] && prep.WDepth[v] > tStar {
+			tStar = prep.WDepth[v]
+		}
+	}
+	window := 2 * (tStar + d)
+	wInfo := &congest.PreInfo{
+		Leader:   prep.W,
+		Parent:   prep.WParent,
+		Depth:    prep.WDepth,
+		Children: prep.WNatural,
+		D:        prep.EccW,
+	}
+	waveDuration := 2*window + 2*d + 2
+
+	domain := make([]int, 0, prep.RSize)
+	for v := 0; v < n; v++ {
+		if prep.RMembers[v] {
+			domain = append(domain, v)
+		}
+	}
+
+	eval := func(u0 int) (int, int, error) {
+		if !prep.RMembers[u0] {
+			return 0, 0, fmt.Errorf("core: evaluation input %d outside R", u0)
+		}
+		tau, mWalk, err := congest.TokenWalk(g, wInfo, prep.RChild, u0, window)
+		if err != nil {
+			return 0, 0, err
+		}
+		value, mRest, err := congest.EccentricitiesOf(g, wInfo, tau, waveDuration)
+		if err != nil {
+			return 0, 0, err
+		}
+		return value, mWalk.Rounds + mRest.Rounds, nil
+	}
+
+	eps := float64(d) / (2 * float64(prep.RSize))
+	if eps > 1 {
+		eps = 1
+	}
+	return runOptimization(g, wInfo, eval, optimizationParams{
+		domain:      domain,
+		eps:         eps,
+		delta:       opts.delta(),
+		seed:        opts.Seed,
+		initRounds:  preM.Rounds,
+		setupRounds: tStar + 1, // broadcast down the R-subtree
+	})
+}
+
+type optimizationParams struct {
+	domain      []int
+	eps         float64
+	delta       float64
+	seed        int64
+	initRounds  int
+	setupRounds int
+}
+
+func runOptimization(g *graph.Graph, info *congest.PreInfo, eval qcongest.EvalProc, p optimizationParams) (Result, error) {
+	opt := &qcongest.Optimizer{
+		Domain:      p.domain,
+		Evaluate:    eval,
+		InitRounds:  p.initRounds,
+		SetupRounds: p.setupRounds,
+		Eps:         p.eps,
+		Delta:       p.delta,
+		Rng:         rand.New(rand.NewSource(p.seed)),
+	}
+	qr, err := opt.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Diameter:     qr.Value,
+		Rounds:       qr.Rounds,
+		InitRounds:   p.initRounds,
+		SetupRounds:  p.setupRounds,
+		EvalRounds:   qr.ClassicalEvalRounds,
+		Iterations:   qr.Counters.GroverIterations,
+		LeaderQubits: qr.LeaderQubits,
+		NodeQubits:   qr.NodeQubits,
+	}, nil
+}
+
+func identityDomain(n int) []int {
+	d := make([]int, n)
+	for i := range d {
+		d[i] = i
+	}
+	return d
+}
+
+// singleInitiator builds a tau assignment where only u0 initiates a wave,
+// at relative round 1 (tau' = 0).
+func singleInitiator(n, u0 int) []int {
+	tau := make([]int, n)
+	for i := range tau {
+		tau[i] = -1
+	}
+	tau[u0] = 0
+	return tau
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+)
+
+// FitPower fits rounds ≈ c * x^e over a series by least squares in log
+// space and returns the coefficient and exponent.
+func FitPower(s Series, x func(Point) float64) (c, e float64, err error) {
+	e = s.Slope(x)
+	if math.IsNaN(e) {
+		return 0, 0, errors.New("experiments: series too short to fit")
+	}
+	// c from the mean residual: log c = mean(log y - e log x).
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.Rounds <= 0 {
+			continue
+		}
+		sum += math.Log(float64(p.Rounds)) - e*math.Log(x(p))
+		n++
+	}
+	return math.Exp(sum / float64(n)), e, nil
+}
+
+// CrossoverN extrapolates two fitted power laws (both as functions of n)
+// and returns the n at which the second becomes cheaper than the first,
+// i.e. where c1*n^e1 == c2*n^e2. It errors when the curves never cross
+// (e2 >= e1) or the fits are degenerate.
+func CrossoverN(first, second Series) (float64, error) {
+	xf := func(p Point) float64 { return float64(p.N) }
+	c1, e1, err := FitPower(first, xf)
+	if err != nil {
+		return 0, err
+	}
+	c2, e2, err := FitPower(second, xf)
+	if err != nil {
+		return 0, err
+	}
+	if e2 >= e1 {
+		return 0, errors.New("experiments: curves do not cross (second grows at least as fast)")
+	}
+	// c1 n^e1 = c2 n^e2  =>  n = (c2/c1)^(1/(e1-e2)).
+	return math.Pow(c2/c1, 1/(e1-e2)), nil
+}

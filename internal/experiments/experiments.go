@@ -1,0 +1,208 @@
+// Package experiments drives the reproduction of the paper's evaluation
+// artifacts: the Table 1 round-complexity comparison and the per-figure
+// experiments indexed in DESIGN.md. Each driver returns measured series
+// that cmd/table1, cmd/figures and the benchmarks render.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/core"
+	"qcongest/internal/graph"
+)
+
+// Point is one measurement of a sweep.
+type Point struct {
+	N        int // nodes
+	D        int // diameter
+	Rounds   int
+	Diameter int // computed value
+	OK       bool
+}
+
+// Series is a named sequence of measurements.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Slope fits log(rounds) against log(x) by least squares over the series,
+// with x supplied per point (e.g. n, or n*D). It reports the exponent: ~1
+// for linear scaling, ~0.5 for sqrt scaling.
+func (s Series) Slope(x func(Point) float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, p := range s.Points {
+		if p.Rounds <= 0 {
+			continue
+		}
+		lx, ly := math.Log(x(p)), math.Log(float64(p.Rounds))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	fn := float64(n)
+	return (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+}
+
+// ExactComparison measures the Table 1 "Exact computation" row: classical
+// Theta(n) vs quantum Õ(sqrt(nD)) rounds on constant-diameter graphs of
+// increasing size. trials averages the randomized quantum cost.
+func ExactComparison(sizes []int, diameter int, trials int, seed int64) (classical, quantum Series, err error) {
+	classical.Name = "classical exact (PRT12)"
+	quantum.Name = "quantum exact (Theorem 1)"
+	for _, n := range sizes {
+		g, err := graph.LollipopWithDiameter(n, diameter)
+		if err != nil {
+			return classical, quantum, err
+		}
+		want, err := g.Diameter()
+		if err != nil {
+			return classical, quantum, err
+		}
+		cres, err := congest.ClassicalExactDiameter(g)
+		if err != nil {
+			return classical, quantum, err
+		}
+		classical.Points = append(classical.Points, Point{
+			N: n, D: want, Rounds: cres.Metrics.Rounds,
+			Diameter: cres.Diameter, OK: cres.Diameter == want,
+		})
+		totalRounds, hits, lastDiam := 0, 0, 0
+		for tr := 0; tr < trials; tr++ {
+			qres, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr)})
+			if err != nil {
+				return classical, quantum, err
+			}
+			totalRounds += qres.Rounds
+			lastDiam = qres.Diameter
+			if qres.Diameter == want {
+				hits++
+			}
+		}
+		quantum.Points = append(quantum.Points, Point{
+			N: n, D: want, Rounds: totalRounds / trials,
+			Diameter: lastDiam, OK: hits*2 > trials,
+		})
+	}
+	return classical, quantum, nil
+}
+
+// DiameterSweep measures quantum exact rounds as D grows with n fixed,
+// exposing the sqrt(D) factor of Theorem 1.
+func DiameterSweep(n int, diameters []int, trials int, seed int64) (Series, error) {
+	s := Series{Name: "quantum exact vs D"}
+	for _, d := range diameters {
+		g, err := graph.LollipopWithDiameter(n, d)
+		if err != nil {
+			return s, err
+		}
+		total, hits, last := 0, 0, 0
+		for tr := 0; tr < trials; tr++ {
+			res, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr)})
+			if err != nil {
+				return s, err
+			}
+			total += res.Rounds
+			last = res.Diameter
+			if res.Diameter == d {
+				hits++
+			}
+		}
+		s.Points = append(s.Points, Point{N: n, D: d, Rounds: total / trials, Diameter: last, OK: hits*2 > trials})
+	}
+	return s, nil
+}
+
+// ApproxComparison measures the Table 1 "3/2-approximation" row.
+func ApproxComparison(sizes []int, diameter int, trials int, seed int64) (classical, quantum Series, err error) {
+	classical.Name = "classical 3/2-approx (HPRW14)"
+	quantum.Name = "quantum 3/2-approx (Theorem 4)"
+	for _, n := range sizes {
+		g, err := graph.LollipopWithDiameter(n, diameter)
+		if err != nil {
+			return classical, quantum, err
+		}
+		want, err := g.Diameter()
+		if err != nil {
+			return classical, quantum, err
+		}
+		cres, err := congest.ClassicalApproxDiameter(g, 0, seed)
+		if err != nil {
+			return classical, quantum, err
+		}
+		classical.Points = append(classical.Points, Point{
+			N: n, D: want, Rounds: cres.Metrics.Rounds, Diameter: cres.Diameter,
+			OK: approxOK(cres.Diameter, want),
+		})
+		total, hits, last := 0, 0, 0
+		for tr := 0; tr < trials; tr++ {
+			qres, err := core.ApproxDiameter(g, core.Options{Seed: seed + int64(tr)})
+			if err != nil {
+				return classical, quantum, err
+			}
+			total += qres.Rounds
+			last = qres.Diameter
+			if approxOK(qres.Diameter, want) {
+				hits++
+			}
+		}
+		quantum.Points = append(quantum.Points, Point{
+			N: n, D: want, Rounds: total / trials, Diameter: last, OK: hits*2 > trials,
+		})
+	}
+	return classical, quantum, nil
+}
+
+func approxOK(estimate, diam int) bool {
+	return estimate <= diam && 2*diam <= 3*(estimate+1)
+}
+
+// Lemma1Coverage measures min over v of Pr[v in S(u0)] for uniform u0 and
+// compares it with the paper's bound d/2n.
+func Lemma1Coverage(g *graph.Graph) (minProb, bound float64, err error) {
+	info, _, err := congest.Preprocess(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	tree, err := graph.NewBFSTree(g, info.Leader)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := g.N()
+	d := info.D
+	count := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range tree.SetS(u, d) {
+			count[v]++
+		}
+	}
+	minProb = 1
+	for _, c := range count {
+		if p := float64(c) / float64(n); p < minProb {
+			minProb = p
+		}
+	}
+	return minProb, float64(d) / (2 * float64(n)), nil
+}
+
+// FormatTable renders series as an aligned text table.
+func FormatTable(series ...Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s\n", s.Name)
+		fmt.Fprintf(&b, "  %6s %6s %8s %9s %4s\n", "n", "D", "rounds", "output", "ok")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "  %6d %6d %8d %9d %4v\n", p.N, p.D, p.Rounds, p.Diameter, p.OK)
+		}
+	}
+	return b.String()
+}

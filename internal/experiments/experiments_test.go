@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+func TestSlopeFit(t *testing.T) {
+	// Perfect sqrt scaling: rounds = 10*sqrt(n).
+	s := Series{Name: "sqrt"}
+	for _, n := range []int{16, 64, 256, 1024} {
+		s.Points = append(s.Points, Point{N: n, Rounds: int(10 * math.Sqrt(float64(n)))})
+	}
+	slope := s.Slope(func(p Point) float64 { return float64(p.N) })
+	if math.Abs(slope-0.5) > 0.02 {
+		t.Errorf("slope = %g, want 0.5", slope)
+	}
+	// Linear scaling.
+	s2 := Series{Name: "linear"}
+	for _, n := range []int{16, 64, 256} {
+		s2.Points = append(s2.Points, Point{N: n, Rounds: 7 * n})
+	}
+	if slope := s2.Slope(func(p Point) float64 { return float64(p.N) }); math.Abs(slope-1) > 0.02 {
+		t.Errorf("slope = %g, want 1", slope)
+	}
+	// Degenerate series.
+	if !math.IsNaN((Series{}).Slope(func(p Point) float64 { return 1 })) {
+		t.Error("empty series should give NaN")
+	}
+}
+
+func TestExactComparisonSmall(t *testing.T) {
+	classical, quantum, err := ExactComparison([]int{24, 48}, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range classical.Points {
+		if !p.OK {
+			t.Errorf("classical wrong at n=%d: %d", p.N, p.Diameter)
+		}
+	}
+	for _, p := range quantum.Points {
+		if !p.OK {
+			t.Errorf("quantum unreliable at n=%d", p.N)
+		}
+	}
+	// Classical grows ~linearly: doubling n should roughly double rounds.
+	c0, c1 := classical.Points[0].Rounds, classical.Points[1].Rounds
+	if float64(c1) < 1.6*float64(c0) {
+		t.Errorf("classical growth %d -> %d too slow for linear", c0, c1)
+	}
+	// Quantum grows like sqrt: well under 1.8x.
+	q0, q1 := quantum.Points[0].Rounds, quantum.Points[1].Rounds
+	if float64(q1) > 1.8*float64(q0) {
+		t.Errorf("quantum growth %d -> %d too fast for sqrt", q0, q1)
+	}
+}
+
+func TestLemma1Coverage(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(20),
+		graph.RandomConnected(30, 0.1, 3),
+		graph.CompleteBinaryTree(31),
+	} {
+		minProb, bound, err := Lemma1Coverage(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if minProb < bound {
+			t.Errorf("coverage %g below Lemma 1 bound %g", minProb, bound)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := Series{Name: "demo", Points: []Point{{N: 10, D: 3, Rounds: 42, Diameter: 3, OK: true}}}
+	out := FormatTable(s)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "42") {
+		t.Errorf("table output missing fields:\n%s", out)
+	}
+}
+
+func TestApproxComparisonSmall(t *testing.T) {
+	classical, quantum, err := ApproxComparison([]int{30}, 5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !classical.Points[0].OK {
+		t.Errorf("classical approx failed quality: %+v", classical.Points[0])
+	}
+	if !quantum.Points[0].OK {
+		t.Errorf("quantum approx failed quality: %+v", quantum.Points[0])
+	}
+}
+
+func TestDiameterSweep(t *testing.T) {
+	s, err := DiameterSweep(40, []int{4, 8}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points: %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if !p.OK {
+			t.Errorf("sweep unreliable at D=%d", p.D)
+		}
+	}
+}

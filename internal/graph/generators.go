@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph P_n: 0-1-2-...-(n-1). Diameter n-1.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n (n >= 3). Diameter floor(n/2).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0. Diameter 2 (for n >= 3).
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n. Diameter 1 (for n >= 2).
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph. Diameter rows+cols-2.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols torus (grid with wraparound), rows, cols >= 3.
+func Torus(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(id(r, c), id(r, (c+1)%cols))
+			g.MustAddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+// Diameter dim.
+func Hypercube(dim int) *Graph {
+	n := 1 << dim
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree with n vertices
+// (heap-indexed: children of v are 2v+1 and 2v+2).
+func CompleteBinaryTree(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, (v-1)/2)
+	}
+	return g
+}
+
+// Barbell returns two cliques of size cliqueSize joined by a path with
+// pathLen internal vertices. Diameter pathLen + 3 (for cliqueSize >= 2).
+// Useful as a small-n, large-D workload.
+func Barbell(cliqueSize, pathLen int) *Graph {
+	n := 2*cliqueSize + pathLen
+	g := New(n)
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			g.MustAddEdge(i, j)
+			g.MustAddEdge(cliqueSize+pathLen+i, cliqueSize+pathLen+j)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		g.MustAddEdge(prev, cliqueSize+i)
+		prev = cliqueSize + i
+	}
+	g.MustAddEdge(prev, cliqueSize+pathLen)
+	return g
+}
+
+// Caterpillar returns a path of spineLen vertices where every spine vertex
+// carries legsPerSpine pendant leaves. n = spineLen*(1+legsPerSpine),
+// diameter spineLen+1 (for legsPerSpine >= 1, spineLen >= 2). This family
+// lets experiments scale n while holding D fixed, or scale D while holding
+// n fixed.
+func Caterpillar(spineLen, legsPerSpine int) *Graph {
+	n := spineLen * (1 + legsPerSpine)
+	g := New(n)
+	for i := 0; i+1 < spineLen; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	next := spineLen
+	for i := 0; i < spineLen; i++ {
+		for l := 0; l < legsPerSpine; l++ {
+			g.MustAddEdge(i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected graph on n vertices: a random spanning
+// tree (random parent attachment) plus each remaining pair independently
+// with probability p. Deterministic for a given seed.
+func RandomConnected(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[rng.Intn(i)]
+		g.MustAddEdge(u, v)
+	}
+	if p > 0 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !g.HasEdge(u, v) && rng.Float64() < p {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniform random attachment tree on n vertices.
+func RandomTree(n int, seed int64) *Graph {
+	return RandomConnected(n, 0, seed)
+}
+
+// SmallWorld returns a ring lattice where each vertex connects to its k
+// nearest neighbours on each side, with extra random chords added with
+// probability p per vertex (Watts-Strogatz-style but additive, so the graph
+// stays connected). Low diameter for moderate p.
+func SmallWorld(n, k int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if !g.HasEdge(u, v) && u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if rng.Float64() < p {
+			v := rng.Intn(n)
+			if v != u && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// LollipopWithDiameter returns a connected graph with n vertices whose
+// diameter is exactly wantD (2 <= wantD <= n-1): a path of wantD+1 vertices
+// with the remaining n-wantD-1 vertices attached to one end as a clique
+// blended into the path head. It errors when the parameters are infeasible.
+func LollipopWithDiameter(n, wantD int) (*Graph, error) {
+	if wantD < 1 || wantD > n-1 {
+		return nil, fmt.Errorf("graph: cannot build %d vertices with diameter %d", n, wantD)
+	}
+	g := New(n)
+	// Path 0..wantD.
+	for i := 0; i < wantD; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	// Each remaining vertex attaches to path vertices 0 and 1 and to every
+	// other remaining vertex, so it is at distance exactly wantD from vertex
+	// wantD (through vertex 1) and at distance 1 from everything near the
+	// head; the overall diameter stays exactly wantD.
+	for v := wantD + 1; v < n; v++ {
+		g.MustAddEdge(v, 0)
+		g.MustAddEdge(v, 1)
+		for w := wantD + 1; w < v; w++ {
+			g.MustAddEdge(v, w)
+		}
+	}
+	return g, nil
+}

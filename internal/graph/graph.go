@@ -1,0 +1,277 @@
+// Package graph provides the undirected-graph substrate used by every other
+// package in this repository: adjacency representation, breadth-first search,
+// BFS trees and their Euler tours, eccentricity and diameter reference
+// algorithms, and the graph generators used in the experiments.
+//
+// Vertices are dense integers in [0, N). All graphs are simple, undirected
+// and unweighted, matching the networks considered in the paper.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1 stored as sorted
+// adjacency lists. The zero value is an empty graph with no vertices.
+type Graph struct {
+	adj    [][]int
+	edges  int
+	sorted bool
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected with an error so construction bugs surface early.
+func (g *Graph) AddEdge(u, v int) error {
+	switch {
+	case u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj):
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, len(g.adj))
+	case u == v:
+		return fmt.Errorf("graph: self-loop at %d", u)
+	case g.HasEdge(u, v):
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+	g.sorted = false
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where the edge is known to be
+// valid; it panics on error (programmer error, not runtime input).
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u in ascending order. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int {
+	g.ensureSorted()
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+func (g *Graph) ensureSorted() {
+	if g.sorted {
+		return
+	}
+	for _, a := range g.adj {
+		sort.Ints(a)
+	}
+	g.sorted = true
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges, sorted: g.sorted}
+	for i, a := range g.adj {
+		c.adj[i] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// Edges returns every edge {u, v} with u < v, in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	g.ensureSorted()
+	out := make([][2]int, 0, g.edges)
+	for u, a := range g.adj {
+		for _, v := range a {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// ErrDisconnected is returned by algorithms that require a connected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// BFS runs a breadth-first search from src and returns the distance slice
+// (distance -1 for unreachable vertices) and the BFS parent slice (parent -1
+// for src and unreachable vertices). The parent of v is canonically the
+// smallest-id neighbor of v at distance d(src,v)-1; this matches the parent
+// choice of the distributed BFS program in internal/congest, so reference
+// trees and simulated trees coincide exactly.
+func (g *Graph) BFS(src int) (dist, parent []int) {
+	n := len(g.adj)
+	dist = make([]int, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	g.ensureSorted()
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Canonical parents: smallest-id neighbor one level closer to src.
+	for v := 0; v < n; v++ {
+		if v == src || dist[v] <= 0 {
+			continue
+		}
+		for _, u := range g.adj[v] { // ascending id
+			if dist[u] == dist[v]-1 {
+				parent[v] = u
+				break
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Connected reports whether the graph is connected. The empty graph counts
+// as connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	dist, _ := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns max_v d(src, v). It returns an error if some vertex is
+// unreachable from src.
+func (g *Graph) Eccentricity(src int) (int, error) {
+	dist, _ := g.BFS(src)
+	ecc := 0
+	for _, d := range dist {
+		if d == -1 {
+			return 0, ErrDisconnected
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// Diameter returns the exact diameter by running a BFS from every vertex
+// (the O(nm) sequential reference algorithm). The diameter of a graph with
+// fewer than two vertices is 0.
+func (g *Graph) Diameter() (int, error) {
+	if len(g.adj) == 0 {
+		return 0, nil
+	}
+	diam := 0
+	for v := range g.adj {
+		ecc, err := g.Eccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// Radius returns min_v ecc(v).
+func (g *Graph) Radius() (int, error) {
+	if len(g.adj) == 0 {
+		return 0, nil
+	}
+	radius := -1
+	for v := range g.adj {
+		ecc, err := g.Eccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if radius == -1 || ecc < radius {
+			radius = ecc
+		}
+	}
+	return radius, nil
+}
+
+// AllEccentricities returns ecc(v) for every v.
+func (g *Graph) AllEccentricities() ([]int, error) {
+	out := make([]int, len(g.adj))
+	for v := range g.adj {
+		ecc, err := g.Eccentricity(v)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = ecc
+	}
+	return out, nil
+}
+
+// Distance returns d(u, v), or an error if v is unreachable from u.
+func (g *Graph) Distance(u, v int) (int, error) {
+	dist, _ := g.BFS(u)
+	if dist[v] == -1 {
+		return 0, ErrDisconnected
+	}
+	return dist[v], nil
+}
+
+// DistanceMatrix returns the full APSP matrix via n BFS runs.
+func (g *Graph) DistanceMatrix() ([][]int, error) {
+	n := len(g.adj)
+	mat := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist, _ := g.BFS(v)
+		for _, d := range dist {
+			if d == -1 {
+				return nil, ErrDisconnected
+			}
+		}
+		mat[v] = dist
+	}
+	return mat, nil
+}

@@ -1,0 +1,164 @@
+// Package qcongest implements the distributed quantum optimization
+// framework of Section 2.4 of the paper (Theorem 7): a leader node runs
+// amplitude amplification whose Setup and Evaluation black boxes are
+// distributed procedures executed by the whole network in superposition.
+//
+// # Simulation model
+//
+// The network-wide quantum state always has the form
+// sum_x alpha_x |x>_I |data(x)> |init> (see package qsim), so the simulator
+// tracks amplitudes over the optimization domain X and reconstructs the
+// distributed registers by running the (classical, reversible) procedures
+// per basis label. Costs are charged per Theorem 7:
+//
+//   - one amplitude-amplification iteration applies Evaluation twice (mark,
+//     unmark) and Setup twice (the reflection about the initial state is
+//     Setup^{-1} · flip|0> · Setup);
+//   - each application of Setup costs its measured distributed round count,
+//     and likewise for Evaluation;
+//   - one classical Evaluation verifies each measurement outcome.
+//
+// The engine asserts that the Evaluation procedure's measured round count is
+// identical for every input in the domain: that input-independence is what
+// makes "running it in superposition" cost a single execution.
+package qcongest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcongest/internal/amplify"
+	"qcongest/internal/qsim"
+)
+
+// EvalProc runs the distributed Evaluation procedure for one input and
+// reports the value computed at the leader together with the measured round
+// count of one classical (forward) execution.
+type EvalProc func(x int) (value, rounds int, err error)
+
+// Optimizer configures one distributed quantum optimization (Theorem 7).
+type Optimizer struct {
+	// Domain is the set X: the basis labels of the internal register.
+	Domain []int
+	// Evaluate is the distributed Evaluation procedure.
+	Evaluate EvalProc
+	// InitRounds is T0, the measured cost of Initialization.
+	InitRounds int
+	// SetupRounds is the cost of one Setup application (broadcast of the
+	// leader's register along the BFS tree: its height in rounds).
+	SetupRounds int
+	// EvalOverhead converts one classical execution into one reversible
+	// application: compute, copy out, uncompute = 2x classical + 1. A zero
+	// value selects that default.
+	EvalOverhead func(classicalRounds int) int
+	// Eps lower-bounds the probability mass of maximizers under the
+	// uniform initial state (the paper's P_opt bound, e.g. d/2n).
+	Eps float64
+	// Delta is the allowed failure probability.
+	Delta float64
+	// Rng drives measurements; required.
+	Rng *rand.Rand
+}
+
+// Result reports the optimization outcome and its costs.
+type Result struct {
+	Argmax int
+	Value  int
+	// Rounds is the total distributed round complexity per Theorem 7:
+	// T0 + SetupCalls*SetupRounds + EvaluationCalls*EvalApplicationRounds.
+	Rounds int
+	// EvalApplicationRounds is the cost of one reversible Evaluation.
+	EvalApplicationRounds int
+	// ClassicalEvalRounds is the measured cost of one classical execution.
+	ClassicalEvalRounds int
+	// Counters are the black-box application counts.
+	Counters amplify.Counters
+	// LeaderQubits and NodeQubits report the quantum memory accounting of
+	// Theorem 7: every node holds O(log n) qubits of working registers; the
+	// leader additionally records one domain label per amplification phase,
+	// O(log|X| * log(1/eps)) qubits.
+	LeaderQubits int
+	NodeQubits   int
+}
+
+// ErrInconsistentRounds is returned when the Evaluation procedure's round
+// count depends on its input, which would invalidate superposed execution.
+var ErrInconsistentRounds = errors.New("qcongest: evaluation round count depends on input")
+
+// Run executes the optimization and returns the maximizer with measured
+// costs.
+func (o *Optimizer) Run() (Result, error) {
+	var res Result
+	if len(o.Domain) == 0 {
+		return res, qsim.ErrEmptyDomain
+	}
+	if o.Rng == nil {
+		return res, errors.New("qcongest: nil Rng")
+	}
+	if o.Evaluate == nil {
+		return res, errors.New("qcongest: nil Evaluate")
+	}
+
+	// Memoize the distributed evaluation and enforce round uniformity.
+	values := make(map[int]int, len(o.Domain))
+	classicalRounds := -1
+	var evalErr error
+	f := func(x int) int {
+		if v, ok := values[x]; ok {
+			return v
+		}
+		v, r, err := o.Evaluate(x)
+		if err != nil && evalErr == nil {
+			evalErr = fmt.Errorf("evaluate %d: %w", x, err)
+			return 0
+		}
+		if classicalRounds == -1 {
+			classicalRounds = r
+		} else if r != classicalRounds && evalErr == nil {
+			evalErr = fmt.Errorf("%w: %d rounds for input %d, %d before",
+				ErrInconsistentRounds, r, x, classicalRounds)
+		}
+		values[x] = v
+		return v
+	}
+
+	phi, err := qsim.NewUniform(o.Domain)
+	if err != nil {
+		return res, err
+	}
+	mr, err := amplify.FindMax(phi, f, o.Eps, o.Delta, o.Rng)
+	if err != nil {
+		return res, err
+	}
+	if evalErr != nil {
+		return res, evalErr
+	}
+
+	overhead := o.EvalOverhead
+	if overhead == nil {
+		overhead = func(c int) int { return 2*c + 1 }
+	}
+	evalApp := overhead(classicalRounds)
+
+	res.Argmax = mr.Argmax
+	res.Value = mr.Value
+	res.Counters = mr.Counters
+	res.ClassicalEvalRounds = classicalRounds
+	res.EvalApplicationRounds = evalApp
+	res.Rounds = o.InitRounds +
+		mr.Counters.SetupCalls*o.SetupRounds +
+		mr.Counters.EvaluationCalls*evalApp
+
+	// Memory accounting (Theorem 7): O(log|X|) working qubits per node,
+	// plus an O(log|X|)-qubit record per phase at the leader.
+	logX := int(math.Ceil(math.Log2(float64(len(o.Domain) + 1))))
+	if logX < 1 {
+		logX = 1
+	}
+	logEps := int(math.Ceil(math.Log2(1/o.Eps))) + 1
+	res.NodeQubits = 5 * logX
+	res.LeaderQubits = res.NodeQubits + logX*logEps
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package qcongest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qcongest/internal/qsim"
+)
+
+func domain(n int) []int {
+	d := make([]int, n)
+	for i := range d {
+		d[i] = i
+	}
+	return d
+}
+
+func TestOptimizerFindsMax(t *testing.T) {
+	opt := &Optimizer{
+		Domain: domain(50),
+		Evaluate: func(x int) (int, int, error) {
+			return 100 - (x-17)*(x-17), 12, nil
+		},
+		InitRounds:  5,
+		SetupRounds: 3,
+		Eps:         1.0 / 50,
+		Delta:       0.1,
+		Rng:         rand.New(rand.NewSource(2)),
+	}
+	hits := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		res, err := opt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Argmax == 17 {
+			hits++
+		}
+		// Theorem 7 accounting identity.
+		want := 5 + res.Counters.SetupCalls*3 + res.Counters.EvaluationCalls*res.EvalApplicationRounds
+		if res.Rounds != want {
+			t.Fatalf("rounds = %d, want %d", res.Rounds, want)
+		}
+		if res.EvalApplicationRounds != 2*12+1 {
+			t.Fatalf("eval application rounds = %d, want 25", res.EvalApplicationRounds)
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("argmax found %d/%d times", hits, trials)
+	}
+}
+
+func TestOptimizerDetectsInconsistentRounds(t *testing.T) {
+	opt := &Optimizer{
+		Domain: domain(10),
+		Evaluate: func(x int) (int, int, error) {
+			return x, 5 + x%2, nil // round count depends on input
+		},
+		Eps:   0.1,
+		Delta: 0.1,
+		Rng:   rand.New(rand.NewSource(4)),
+	}
+	_, err := opt.Run()
+	if !errors.Is(err, ErrInconsistentRounds) {
+		t.Errorf("err = %v, want ErrInconsistentRounds", err)
+	}
+}
+
+func TestOptimizerPropagatesEvalError(t *testing.T) {
+	boom := errors.New("boom")
+	opt := &Optimizer{
+		Domain:   domain(10),
+		Evaluate: func(x int) (int, int, error) { return 0, 0, boom },
+		Eps:      0.1,
+		Delta:    0.1,
+		Rng:      rand.New(rand.NewSource(4)),
+	}
+	if _, err := opt.Run(); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestOptimizerValidation(t *testing.T) {
+	if _, err := (&Optimizer{Rng: rand.New(rand.NewSource(1))}).Run(); !errors.Is(err, qsim.ErrEmptyDomain) {
+		t.Errorf("empty domain: %v", err)
+	}
+	opt := &Optimizer{Domain: domain(4), Evaluate: func(int) (int, int, error) { return 0, 1, nil }, Eps: 0.5, Delta: 0.1}
+	if _, err := opt.Run(); err == nil {
+		t.Error("nil rng accepted")
+	}
+	opt.Rng = rand.New(rand.NewSource(1))
+	opt.Evaluate = nil
+	if _, err := opt.Run(); err == nil {
+		t.Error("nil evaluate accepted")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	opt := &Optimizer{
+		Domain:      domain(1024),
+		Evaluate:    func(x int) (int, int, error) { return x % 7, 4, nil },
+		Eps:         1.0 / 64,
+		Delta:       0.2,
+		SetupRounds: 1,
+		Rng:         rand.New(rand.NewSource(6)),
+	}
+	res, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log|X| = 11 bits for 1025 labels; nodes hold 5 registers of that
+	// size; the leader adds log|X| * (log(1/eps)+1).
+	if res.NodeQubits != 55 {
+		t.Errorf("node qubits = %d, want 55", res.NodeQubits)
+	}
+	if res.LeaderQubits != 55+11*7 {
+		t.Errorf("leader qubits = %d, want %d", res.LeaderQubits, 55+11*7)
+	}
+	if res.LeaderQubits < res.NodeQubits {
+		t.Error("leader must hold at least as much as a node")
+	}
+}
+
+// The uniform-cost charging matches the framework contract: a custom
+// overhead function is honored.
+func TestCustomOverhead(t *testing.T) {
+	opt := &Optimizer{
+		Domain:       domain(16),
+		Evaluate:     func(x int) (int, int, error) { return x, 10, nil },
+		EvalOverhead: func(c int) int { return c },
+		Eps:          1.0 / 16,
+		Delta:        0.2,
+		Rng:          rand.New(rand.NewSource(8)),
+	}
+	res, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalApplicationRounds != 10 {
+		t.Errorf("overhead not honored: %d", res.EvalApplicationRounds)
+	}
+}

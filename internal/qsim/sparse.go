@@ -1,0 +1,180 @@
+// Package qsim provides the quantum-state simulators used by the
+// reproduction: a sparse amplitude-vector simulator over arbitrary integer
+// basis labels (the workhorse for amplitude amplification over network
+// configurations) and a dense qubit-register simulator used to validate the
+// sparse engine and the paper's CNOT-copy broadcast semantics on small
+// systems.
+//
+// Why a sparse simulator is exact here: in the paper's framework (Section
+// 2.4) the global network state always has the form
+//
+//	sum_x alpha_x |x>_I |data(x)> |init>,
+//
+// where |data(x)> and |init> are deterministic functions of x produced by
+// quantized classical (reversible) procedures. Tracking the map x -> alpha_x
+// therefore loses nothing; the data registers are reconstructed on demand.
+package qsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+)
+
+// Sparse is a pure quantum state over integer basis labels with complex128
+// amplitudes. The zero value is unusable; construct with NewUniform or
+// NewState.
+type Sparse struct {
+	amp map[int]complex128
+}
+
+// ErrEmptyDomain is returned when a state would have no support.
+var ErrEmptyDomain = errors.New("qsim: empty domain")
+
+// NewUniform returns the uniform superposition over the given keys.
+func NewUniform(keys []int) (*Sparse, error) {
+	if len(keys) == 0 {
+		return nil, ErrEmptyDomain
+	}
+	a := complex(1/math.Sqrt(float64(len(keys))), 0)
+	s := &Sparse{amp: make(map[int]complex128, len(keys))}
+	for _, k := range keys {
+		if _, dup := s.amp[k]; dup {
+			return nil, fmt.Errorf("qsim: duplicate key %d", k)
+		}
+		s.amp[k] = a
+	}
+	return s, nil
+}
+
+// NewState returns a state with the given amplitudes, normalized.
+func NewState(amps map[int]complex128) (*Sparse, error) {
+	s := &Sparse{amp: make(map[int]complex128, len(amps))}
+	for k, a := range amps {
+		s.amp[k] = a
+	}
+	n := s.Norm()
+	if n == 0 {
+		return nil, ErrEmptyDomain
+	}
+	s.Scale(complex(1/n, 0))
+	return s, nil
+}
+
+// Clone returns a deep copy.
+func (s *Sparse) Clone() *Sparse {
+	c := &Sparse{amp: make(map[int]complex128, len(s.amp))}
+	for k, a := range s.amp {
+		c.amp[k] = a
+	}
+	return c
+}
+
+// Amplitude returns the amplitude of basis label k (zero if absent).
+func (s *Sparse) Amplitude(k int) complex128 { return s.amp[k] }
+
+// Support returns the basis labels with nonzero amplitude, ascending.
+func (s *Sparse) Support() []int {
+	out := make([]int, 0, len(s.amp))
+	for k, a := range s.amp {
+		if a != 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Norm returns the Euclidean norm of the state.
+func (s *Sparse) Norm() float64 {
+	t := 0.0
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Scale multiplies every amplitude by c.
+func (s *Sparse) Scale(c complex128) {
+	for k := range s.amp {
+		s.amp[k] *= c
+	}
+}
+
+// PhaseFlip applies the oracle that negates the amplitude of every marked
+// basis label: |x> -> -|x> when marked(x).
+func (s *Sparse) PhaseFlip(marked func(int) bool) {
+	for k, a := range s.amp {
+		if marked(k) {
+			s.amp[k] = -a
+		}
+	}
+}
+
+// InnerProduct returns <s|o>.
+func (s *Sparse) InnerProduct(o *Sparse) complex128 {
+	var t complex128
+	for k, a := range s.amp {
+		t += cmplx.Conj(a) * o.amp[k]
+	}
+	return t
+}
+
+// ReflectAbout applies the reflection 2|phi><phi| - I, where phi is the
+// (assumed normalized) reference state. With phi the Setup output, this is
+// the diffusion step of amplitude amplification: it is implemented in the
+// paper by Setup^{-1}, a phase flip on |0>, and Setup.
+func (s *Sparse) ReflectAbout(phi *Sparse) {
+	ip := phi.InnerProduct(s) // <phi|s>
+	// s' = 2 <phi|s> phi - s
+	next := make(map[int]complex128, len(s.amp)+len(phi.amp))
+	for k, a := range s.amp {
+		next[k] = -a
+	}
+	for k, p := range phi.amp {
+		next[k] += 2 * ip * p
+	}
+	s.amp = next
+}
+
+// GroverIteration applies one amplitude-amplification step: the marked-set
+// phase flip followed by the reflection about phi.
+func (s *Sparse) GroverIteration(phi *Sparse, marked func(int) bool) {
+	s.PhaseFlip(marked)
+	s.ReflectAbout(phi)
+}
+
+// Probability returns the total probability of measuring a label for which
+// pred holds.
+func (s *Sparse) Probability(pred func(int) bool) float64 {
+	t := 0.0
+	for k, a := range s.amp {
+		if pred(k) {
+			t += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return t
+}
+
+// Measure samples a basis label from the state's distribution using rng.
+// The state itself is left untouched (callers clone per shot); sampling
+// iterates labels in ascending order for determinism given the rng.
+func (s *Sparse) Measure(rng *rand.Rand) int {
+	keys := s.Support()
+	if len(keys) == 0 {
+		return -1
+	}
+	r := rng.Float64() * s.Norm() * s.Norm()
+	acc := 0.0
+	for _, k := range keys {
+		a := s.amp[k]
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if r < acc {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}

@@ -1,0 +1,98 @@
+package reduction
+
+import (
+	"fmt"
+	"math"
+
+	"qcongest/internal/bitstring"
+	"qcongest/internal/comm"
+	"qcongest/internal/congest"
+)
+
+// SimulationResult reports the two-party protocol obtained from a CONGEST
+// algorithm by the Theorem 10 argument.
+type SimulationResult struct {
+	Disj int // the DISJ value decided from the diameter
+	// Rounds is the round complexity of the simulated CONGEST algorithm.
+	Rounds int
+	// CutBits is the total traffic that crossed the (Un, Vn) cut — the
+	// communication Alice and Bob must exchange to simulate the run.
+	CutBits int
+	// Protocol is the induced two-party cost: 2 messages per round in
+	// which cut traffic occurred (one per direction), each of size at most
+	// b * bandwidth bits.
+	Protocol comm.Metrics
+}
+
+// TwoPartyFromCongest implements the simulation of Theorem 10: Alice
+// (holding the Un side and x) and Bob (holding the Vn side and y) jointly
+// run the classical exact-diameter algorithm on Gn(x, y), exchanging only
+// the traffic of the b cut edges. The decided DISJ value and the measured
+// two-party costs are returned. The run fails if the algorithm's diameter
+// output falls strictly between d1 and d2 (impossible for a correct
+// reduction).
+func TwoPartyFromCongest(red *Reduction, x, y *bitstring.Bits) (SimulationResult, error) {
+	var res SimulationResult
+	g, err := red.Build(x, y)
+	if err != nil {
+		return res, err
+	}
+	side := red.SideOf()
+	perRound := map[int][2]int{} // round -> bits crossing per direction
+	observer := func(round, from, to, bits int) {
+		if side[from] == side[to] {
+			return
+		}
+		e := perRound[round]
+		e[side[from]] += bits
+		perRound[round] = e
+		res.CutBits += bits
+	}
+	out, err := congest.ClassicalExactDiameter(g, congest.WithObserver(observer))
+	if err != nil {
+		return res, err
+	}
+	res.Rounds = out.Metrics.Rounds
+	switch {
+	case out.Diameter <= red.D1:
+		res.Disj = 1
+	case out.Diameter >= red.D2:
+		res.Disj = 0
+	default:
+		return res, fmt.Errorf("reduction %s: diameter %d strictly between %d and %d",
+			red.Name, out.Diameter, red.D1, red.D2)
+	}
+	// Alice and Bob exchange one message per direction per round with cut
+	// traffic; message size is the larger of the actual traffic and one
+	// bit (a round marker).
+	for _, e := range perRound {
+		for dir := 0; dir < 2; dir++ {
+			bits := e[dir]
+			if bits == 0 {
+				bits = 1
+			}
+			res.Protocol.Messages++
+			res.Protocol.Qubits += bits
+			if bits > res.Protocol.MaxQubits {
+				res.Protocol.MaxQubits = bits
+			}
+		}
+	}
+	return res, nil
+}
+
+// MaxCutTrafficPerRound returns the maximum possible cut traffic per round
+// for the reduction under the given graph's default bandwidth: b edges
+// times bandwidth bits, the O(b log n) factor of Theorem 10.
+func MaxCutTrafficPerRound(red *Reduction) int {
+	return red.B * congest.DefaultBandwidth(red.Base.N())
+}
+
+// LowerBoundRounds evaluates the Theorem 10 bound Ω(sqrt(k/b)) and the
+// Theorem 3 bound Ω(sqrt(k*d/(b+s))) for given parameters, up to the
+// suppressed polylog factors (set logFactor to 1 for the raw value).
+func LowerBoundRounds(k, b, d, s int) (theorem2 float64, theorem3 float64) {
+	t2 := math.Sqrt(float64(k) / float64(b))
+	t3 := math.Sqrt(float64(k) * float64(d) / float64(b+s))
+	return t2, t3
+}

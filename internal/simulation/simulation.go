@@ -1,0 +1,242 @@
+// Package simulation implements the simulation argument of Section 6.1 of
+// the paper (Theorem 11, Figures 6 and 7): any r-round algorithm on the
+// path network G_d — nodes A = P_0, P_1..P_d, B = P_{d+1} — in which each
+// intermediate node uses at most s qubits of memory can be simulated by a
+// two-party protocol with O(r/d) messages and O(r(bw+s)) qubits of
+// communication.
+//
+// # Model (Figure 6)
+//
+// Each node P_i owns a private register R_i; each edge slot i owns a
+// message register T_i that shuttles between P_i and P_{i+1}. At odd
+// rounds t every node P_i (i <= d) applies a local operation to (R_i, T_i)
+// and sends T_i rightward; at even rounds every P_i (i >= 1) applies an
+// operation to (R_i, T_{i-1}) and sends it back leftward. Operations are
+// arbitrary deterministic register transformations supplied by the caller
+// (in the quantum algorithm they are unitaries; determinism is all the
+// simulation needs).
+//
+// # Two-party simulation (Figure 7)
+//
+// Alice owns R_0 (and the input x), Bob owns R_{d+1} (and y); intermediate
+// registers start on Bob's side. Players alternately execute every
+// operation whose input registers they hold and whose dependencies are
+// satisfied, then ship all intermediate registers to the other player as
+// one message of at most (d+1)*bw + d*s qubits. Because information needs
+// d hops to cross the path, each handoff unlocks Theta(d) further rounds,
+// so the whole run needs O(r/d) messages. The package verifies — rather
+// than assumes — that the simulated execution reproduces the native run's
+// final registers exactly.
+package simulation
+
+import (
+	"errors"
+	"fmt"
+
+	"qcongest/internal/comm"
+)
+
+// StepFunc is the local operation of node i at round t: it transforms the
+// node's private register and the message register it holds this round.
+type StepFunc func(i, t int, private, msg uint64) (newPrivate, newMsg uint64)
+
+// Algorithm describes an r-round computation on G_d.
+type Algorithm struct {
+	D      int // intermediate nodes; the path has d+2 nodes total
+	Rounds int // r
+	Step   StepFunc
+	// Bandwidth and Memory are the declared register sizes in qubits
+	// (bw for message registers, s for intermediate private registers),
+	// used for communication accounting.
+	Bandwidth int
+	Memory    int
+}
+
+// Validate checks the algorithm parameters.
+func (a *Algorithm) Validate() error {
+	switch {
+	case a.D < 1:
+		return fmt.Errorf("simulation: d = %d, want >= 1", a.D)
+	case a.Rounds < 1:
+		return fmt.Errorf("simulation: rounds = %d, want >= 1", a.Rounds)
+	case a.Step == nil:
+		return errors.New("simulation: nil step function")
+	case a.Bandwidth < 1 || a.Memory < 1:
+		return errors.New("simulation: bandwidth and memory must be positive")
+	}
+	return nil
+}
+
+// State is a full register assignment of the network.
+type State struct {
+	R []uint64 // d+2 private registers
+	T []uint64 // d+1 message registers
+}
+
+// ops returns, for round t, the list of (node, tRegister) pairs that act.
+func (a *Algorithm) ops(t int) [][2]int {
+	var out [][2]int
+	if t%2 == 1 {
+		for i := 0; i <= a.D; i++ {
+			out = append(out, [2]int{i, i})
+		}
+		return out
+	}
+	for i := 1; i <= a.D+1; i++ {
+		out = append(out, [2]int{i, i - 1})
+	}
+	return out
+}
+
+// RunNative executes the algorithm round by round (Figure 6) and returns
+// the final state.
+func (a *Algorithm) RunNative(x, y uint64) (State, error) {
+	if err := a.Validate(); err != nil {
+		return State{}, err
+	}
+	st := State{R: make([]uint64, a.D+2), T: make([]uint64, a.D+1)}
+	st.R[0], st.R[a.D+1] = x, y
+	for t := 1; t <= a.Rounds; t++ {
+		for _, op := range a.ops(t) {
+			i, j := op[0], op[1]
+			st.R[i], st.T[j] = a.Step(i, t, st.R[i], st.T[j])
+		}
+	}
+	return st, nil
+}
+
+// SimulationResult reports a two-party simulation run.
+type SimulationResult struct {
+	State    State
+	Metrics  comm.Metrics
+	Handoffs int // number of register handoffs (== messages)
+}
+
+// players
+const (
+	alice = 0
+	bob   = 1
+)
+
+// RunTwoParty simulates the algorithm with Alice and Bob per Figure 7 and
+// verifies on the fly that every operation's dependencies are satisfied
+// when it executes. The returned state must equal RunNative's (tested, not
+// assumed).
+func (a *Algorithm) RunTwoParty(x, y uint64) (SimulationResult, error) {
+	var res SimulationResult
+	if err := a.Validate(); err != nil {
+		return res, err
+	}
+	st := State{R: make([]uint64, a.D+2), T: make([]uint64, a.D+1)}
+	st.R[0], st.R[a.D+1] = x, y
+
+	// Register ownership: Alice has R_0; Bob has everything else.
+	ownR := make([]int, a.D+2)
+	ownT := make([]int, a.D+1)
+	for i := range ownR {
+		ownR[i] = bob
+	}
+	for j := range ownT {
+		ownT[j] = bob
+	}
+	ownR[0] = alice
+
+	// Dependency tracking: lastR[i] = round of node i's latest executed
+	// op; lastT[j] = round T_j was last written. An op (i, t) needs
+	// lastR[i] == prevOp(i, t) and lastT[j] == t-1 (0 when t == 1).
+	lastR := make([]int, a.D+2)
+	lastT := make([]int, a.D+1)
+	total := 0
+	for t := 1; t <= a.Rounds; t++ {
+		total += len(a.ops(t))
+	}
+	done := 0
+
+	prevOp := func(i, t int) int {
+		// Endpoints act every other round; middle nodes act every round.
+		if i == 0 || i == a.D+1 {
+			if t >= 2 {
+				return t - 2
+			}
+			return 0
+		}
+		if t >= 1 {
+			return t - 1
+		}
+		return 0
+	}
+
+	executable := func(player, i, j, t int) bool {
+		if ownR[i] != player || ownT[j] != player {
+			return false
+		}
+		if lastR[i] != prevOp(i, t) {
+			return false
+		}
+		want := t - 1
+		if t == 1 {
+			want = 0
+		}
+		return lastT[j] == want
+	}
+
+	executed := make(map[[2]int]bool, total) // {t, i} -> done
+
+	cur := bob // Bob simulates the opening cone (Figure 7)
+	stuckPhases := 0
+	for done < total {
+		progress := false
+		for t := 1; t <= a.Rounds; t++ {
+			for _, op := range a.ops(t) {
+				i, j := op[0], op[1]
+				key := [2]int{t, i}
+				if executed[key] || !executable(cur, i, j, t) {
+					continue
+				}
+				st.R[i], st.T[j] = a.Step(i, t, st.R[i], st.T[j])
+				lastR[i], lastT[j] = t, t
+				executed[key] = true
+				done++
+				progress = true
+			}
+		}
+		if done >= total {
+			break
+		}
+		if !progress {
+			stuckPhases++
+			if stuckPhases > 2 {
+				return res, errors.New("simulation: deadlock — dependency schedule broken")
+			}
+		} else {
+			stuckPhases = 0
+		}
+		// Handoff: ship every intermediate register the current player
+		// owns (all T_j plus R_1..R_d) to the other player.
+		qubits := 0
+		for j := range ownT {
+			if ownT[j] == cur {
+				ownT[j] = 1 - cur
+				qubits += a.Bandwidth
+			}
+		}
+		for i := 1; i <= a.D; i++ {
+			if ownR[i] == cur {
+				ownR[i] = 1 - cur
+				qubits += a.Memory
+			}
+		}
+		if qubits == 0 {
+			qubits = 1 // pure control message
+		}
+		res.Metrics.Messages++
+		res.Metrics.Qubits += qubits
+		if qubits > res.Metrics.MaxQubits {
+			res.Metrics.MaxQubits = qubits
+		}
+		res.Handoffs++
+		cur = 1 - cur
+	}
+	res.State = st
+	return res, nil
+}

@@ -1,0 +1,175 @@
+// Package qcongest is the public API of this reproduction of "Sublinear-
+// Time Quantum Computation of the Diameter in CONGEST Networks" (Le Gall &
+// Magniez, PODC 2018).
+//
+// The package exposes four layers:
+//
+//   - graph construction and generators (Graph, NewGraph, Path, ...);
+//   - the classical CONGEST baselines (ClassicalExactDiameter — the O(n)
+//     algorithm of [PRT12], ClassicalApproxDiameter — the Õ(sqrt(n)+D)
+//     3/2-approximation of [HPRW14]);
+//   - the paper's quantum algorithms (QuantumExactDiameter — Theorem 1,
+//     Õ(sqrt(nD)) rounds; QuantumExactDiameterSimple — the Section 3.1
+//     variant; QuantumApproxDiameter — Theorem 4, Õ(cbrt(nD)+D) rounds);
+//   - the lower-bound machinery (NewHW12Reduction, NewACHK16Reduction,
+//     BlockedGroverDisj, the G_d simulation of Theorem 11).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results versus the paper's claims.
+package qcongest
+
+import (
+	"math/rand"
+
+	"qcongest/internal/bitstring"
+	"qcongest/internal/comm"
+	"qcongest/internal/congest"
+	"qcongest/internal/core"
+	"qcongest/internal/experiments"
+	"qcongest/internal/graph"
+	"qcongest/internal/reduction"
+	"qcongest/internal/simulation"
+)
+
+// Graph is an undirected network topology.
+type Graph = graph.Graph
+
+// Graph constructors.
+var (
+	// NewGraph returns an empty graph with n vertices.
+	NewGraph = graph.New
+	// Path, Cycle, Star, Complete, Grid, Torus, Hypercube and
+	// CompleteBinaryTree build the standard families.
+	Path               = graph.Path
+	Cycle              = graph.Cycle
+	Star               = graph.Star
+	Complete           = graph.Complete
+	Grid               = graph.Grid
+	Torus              = graph.Torus
+	Hypercube          = graph.Hypercube
+	CompleteBinaryTree = graph.CompleteBinaryTree
+	// Barbell, Caterpillar, RandomConnected, RandomTree, SmallWorld and
+	// LollipopWithDiameter build experiment workloads.
+	Barbell              = graph.Barbell
+	Caterpillar          = graph.Caterpillar
+	RandomConnected      = graph.RandomConnected
+	RandomTree           = graph.RandomTree
+	SmallWorld           = graph.SmallWorld
+	LollipopWithDiameter = graph.LollipopWithDiameter
+)
+
+// ClassicalResult is the outcome of a classical CONGEST algorithm run.
+type ClassicalResult = congest.ExactResult
+
+// ClassicalExactDiameter computes the exact diameter with the classical
+// O(n)-round baseline of [PRT12] (Table 1 row 1, classical column).
+func ClassicalExactDiameter(g *Graph) (ClassicalResult, error) {
+	return congest.ClassicalExactDiameter(g)
+}
+
+// ClassicalApproxDiameter computes the [HPRW14] 3/2-approximation in
+// Õ(sqrt(n)+D) rounds. s <= 0 selects the default sample size sqrt(n).
+func ClassicalApproxDiameter(g *Graph, s int, seed int64) (ClassicalResult, error) {
+	return congest.ClassicalApproxDiameter(g, s, seed)
+}
+
+// QuantumResult is the outcome of a quantum diameter computation.
+type QuantumResult = core.Result
+
+// QuantumOptions configures the quantum algorithms.
+type QuantumOptions = core.Options
+
+// QuantumExactDiameter runs the paper's main algorithm (Theorem 1):
+// exact diameter in Õ(sqrt(n·D)) rounds with O((log n)^2) qubits per node.
+func QuantumExactDiameter(g *Graph, opts QuantumOptions) (QuantumResult, error) {
+	return core.ExactDiameter(g, opts)
+}
+
+// QuantumExactDiameterSimple runs the Section 3.1 variant: Õ(sqrt(n)·D)
+// rounds.
+func QuantumExactDiameterSimple(g *Graph, opts QuantumOptions) (QuantumResult, error) {
+	return core.ExactDiameterSimple(g, opts)
+}
+
+// QuantumApproxDiameter runs the Theorem 4 algorithm: a 3/2-approximation
+// in Õ(cbrt(n·D) + D) rounds.
+func QuantumApproxDiameter(g *Graph, opts QuantumOptions) (QuantumResult, error) {
+	return core.ApproxDiameter(g, opts)
+}
+
+// Bits is a packed bit vector (two-party protocol input).
+type Bits = bitstring.Bits
+
+// Bit-vector helpers.
+var (
+	NewBits                = bitstring.New
+	BitsFromString         = bitstring.FromString
+	Disj                   = bitstring.Disj
+	RandomDisjointPair     = bitstring.RandomDisjointPair
+	RandomIntersectingPair = bitstring.RandomIntersectingPair
+)
+
+// CommMetrics tallies two-party protocol costs.
+type CommMetrics = comm.Metrics
+
+// ClassicalDisj runs the trivial k-bit classical protocol.
+func ClassicalDisj(x, y *Bits) (int, CommMetrics, error) {
+	return comm.ClassicalDisj(x, y)
+}
+
+// BlockedGroverDisj runs the bounded-interaction quantum protocol whose
+// cost realizes the Theorem 5 tradeoff Õ(k/r + r).
+func BlockedGroverDisj(x, y *Bits, blocks int, rng *rand.Rand) (comm.GroverDisjResult, error) {
+	return comm.BlockedGroverDisj(x, y, blocks, rng)
+}
+
+// MeasureDisjTradeoff sweeps message budgets and reports the measured
+// communication curve.
+var MeasureDisjTradeoff = comm.MeasureTradeoff
+
+// Reduction is a (b, k, d1, d2)-reduction from disjointness to diameter
+// computation (Definition 3).
+type Reduction = reduction.Reduction
+
+// Lower-bound constructions and experiments.
+var (
+	// NewHW12Reduction builds the (Theta(n), Theta(n^2), 2, 3)-reduction
+	// of Theorem 8 (Figure 4).
+	NewHW12Reduction = reduction.NewHW12
+	// NewACHK16Reduction builds the (Theta(log n), Theta(n), 4, 5)-
+	// reduction of Theorem 9.
+	NewACHK16Reduction = reduction.NewACHK16
+	// PathNetwork builds the network G_d of Figure 5.
+	PathNetwork = reduction.PathNetwork
+	// BuildSubdivided builds G'_n(x, y) of Figure 8.
+	BuildSubdivided = reduction.BuildSubdivided
+	// TwoPartyFromCongest converts a CONGEST diameter run on Gn(x, y)
+	// into a two-party DISJ protocol (Theorem 10).
+	TwoPartyFromCongest = reduction.TwoPartyFromCongest
+)
+
+// RelayAlgorithm builds a concrete computation on G_d for the Theorem 11
+// simulation experiments.
+var RelayAlgorithm = simulation.NewRelayAlgorithm
+
+// PathAlgorithm is an r-round computation on the path network G_d.
+type PathAlgorithm = simulation.Algorithm
+
+// Experiment drivers (Table 1 and figures); see internal/experiments.
+var (
+	ExactComparison  = experiments.ExactComparison
+	ApproxComparison = experiments.ApproxComparison
+	DiameterSweep    = experiments.DiameterSweep
+	Lemma1Coverage   = experiments.Lemma1Coverage
+	FormatTable      = experiments.FormatTable
+	// FitPower and CrossoverN fit measured round curves and extrapolate
+	// the classical/quantum crossover point.
+	FitPower   = experiments.FitPower
+	CrossoverN = experiments.CrossoverN
+)
+
+// Series is a named sweep of round measurements.
+type Series = experiments.Series
+
+// Point is one measurement of a sweep.
+type Point = experiments.Point

@@ -1,0 +1,100 @@
+package qcongest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// End-to-end smoke test of the public API: every exported entry point runs
+// on a small instance.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := RandomConnected(24, 0.1, 1)
+
+	cres, err := ClassicalExactDiameter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Diameter != want {
+		t.Errorf("classical: %d, want %d", cres.Diameter, want)
+	}
+
+	qres, err := QuantumExactDiameter(g, QuantumOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Diameter > want {
+		t.Errorf("quantum overshoots: %d > %d", qres.Diameter, want)
+	}
+	if qres.Rounds <= 0 || qres.Iterations < 0 {
+		t.Errorf("bad accounting: %+v", qres)
+	}
+
+	ares, err := ClassicalApproxDiameter(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Diameter > want {
+		t.Errorf("approx overshoots: %d", ares.Diameter)
+	}
+
+	qa, err := QuantumApproxDiameter(g, QuantumOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Diameter > want {
+		t.Errorf("quantum approx overshoots: %d", qa.Diameter)
+	}
+}
+
+func TestPublicLowerBoundAPI(t *testing.T) {
+	red, err := NewHW12Reduction(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x, y := RandomIntersectingPair(red.K, rng)
+	res, err := TwoPartyFromCongest(red, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disj != 0 {
+		t.Errorf("DISJ = %d, want 0", res.Disj)
+	}
+
+	gres, err := BlockedGroverDisj(x, y, red.K, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Disj != 0 {
+		t.Errorf("grover DISJ = %d, want 0", gres.Disj)
+	}
+
+	alg := RelayAlgorithm(3, func(a, b uint64) uint64 { return a ^ b })
+	native, err := alg.RunNative(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := alg.RunTwoParty(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range native.R {
+		if native.R[i] != sim.State.R[i] {
+			t.Fatalf("simulation mismatch at R[%d]", i)
+		}
+	}
+}
+
+func TestLemma1CoveragePublic(t *testing.T) {
+	minProb, bound, err := Lemma1Coverage(Path(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minProb < bound {
+		t.Errorf("coverage %g < bound %g", minProb, bound)
+	}
+}
