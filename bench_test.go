@@ -8,8 +8,13 @@ package qcongest
 // values against the theory.
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"qcongest/internal/congest"
 	"qcongest/internal/simulation"
@@ -286,6 +291,155 @@ func BenchmarkFigureLemma1(b *testing.B) {
 			b.Fatalf("coverage %g below bound %g", minProb, bound)
 		}
 	}
+}
+
+// --- Engine benchmark: sequential reference engine vs the sharded engine.
+//
+// The workload is max-id leader election (congest.LeaderElectNode): every
+// vertex floods improvements, so rounds carry work at every node — the
+// engine's per-round machinery (send validation, buffering, merge, receive
+// dispatch) dominates, which is exactly what this benchmark isolates. The
+// same workload and graphs back BENCH_engine.json (see
+// TestWriteEngineBench) and the speedup table in EXPERIMENTS.md.
+
+// engineBenchGraph builds one of the three benchmark families.
+func engineBenchGraph(kind string, n int) *Graph {
+	switch kind {
+	case "path":
+		return Path(n)
+	case "random":
+		return RandomConnected(n, 8/float64(n), int64(n))
+	case "smallworld":
+		return SmallWorld(n, 2, 0.2, int64(n))
+	default:
+		panic("unknown engine benchmark graph " + kind)
+	}
+}
+
+// runEngineWorkload executes one leader election and returns the executed
+// rounds. run selects the engine: (*Network).RunReference or (*Network).Run.
+func runEngineWorkload(g *Graph, workers int, run func(*congest.Network, int) error) (int, error) {
+	nw, err := congest.NewNetwork(g, func(v int) congest.Node { return congest.NewLeaderElectNode() },
+		congest.WithWorkers(workers))
+	if err != nil {
+		return 0, err
+	}
+	if err := run(nw, 4*g.N()+16); err != nil {
+		return 0, err
+	}
+	return nw.Metrics().Rounds, nil
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for _, kind := range []string{"path", "random", "smallworld"} {
+		for _, n := range []int{256, 1024} {
+			g := engineBenchGraph(kind, n)
+			b.Run(kind+"/"+sizeName(n)+"/reference", func(b *testing.B) {
+				totalRounds := 0
+				for i := 0; i < b.N; i++ {
+					r, err := runEngineWorkload(g, 1, (*congest.Network).RunReference)
+					if err != nil {
+						b.Fatal(err)
+					}
+					totalRounds += r
+				}
+				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+			b.Run(kind+"/"+sizeName(n)+"/engine", func(b *testing.B) {
+				totalRounds := 0
+				for i := 0; i < b.N; i++ {
+					r, err := runEngineWorkload(g, runtime.NumCPU(), (*congest.Network).Run)
+					if err != nil {
+						b.Fatal(err)
+					}
+					totalRounds += r
+				}
+				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
+// engineBenchResult is one row of BENCH_engine.json.
+type engineBenchResult struct {
+	Graph                string  `json:"graph"`
+	N                    int     `json:"n"`
+	Rounds               int     `json:"rounds"`
+	Workers              int     `json:"workers"`
+	SequentialRoundsPerS float64 `json:"sequential_rounds_per_sec"`
+	EngineRoundsPerS     float64 `json:"engine_rounds_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+type engineBenchFile struct {
+	GeneratedBy string              `json:"generated_by"`
+	GoVersion   string              `json:"go_version"`
+	NumCPU      int                 `json:"num_cpu"`
+	Workload    string              `json:"workload"`
+	Note        string              `json:"note"`
+	Results     []engineBenchResult `json:"results"`
+}
+
+// measureEngine times run over enough repetitions to cross a wall-clock
+// floor and reports rounds per second.
+func measureEngine(t *testing.T, g *Graph, workers int, run func(*congest.Network, int) error) (rounds int, roundsPerSec float64) {
+	t.Helper()
+	const floor = 300 * time.Millisecond
+	var elapsed time.Duration
+	total := 0
+	for reps := 0; (elapsed < floor && reps < 64) || reps < 1; reps++ {
+		start := time.Now()
+		r, err := runEngineWorkload(g, workers, run)
+		elapsed += time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = r
+		total += r
+	}
+	return rounds, float64(total) / elapsed.Seconds()
+}
+
+// TestWriteEngineBench regenerates BENCH_engine.json. It is too slow for
+// the default test run, so it is gated:
+//
+//	QCONGEST_BENCH_ENGINE=1 go test -run TestWriteEngineBench -timeout 30m
+func TestWriteEngineBench(t *testing.T) {
+	if os.Getenv("QCONGEST_BENCH_ENGINE") == "" {
+		t.Skip("set QCONGEST_BENCH_ENGINE=1 to measure and write BENCH_engine.json")
+	}
+	out := engineBenchFile{
+		GeneratedBy: "QCONGEST_BENCH_ENGINE=1 go test -run TestWriteEngineBench",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workload:    "max-id leader election flood (congest.LeaderElectNode), rounds/sec",
+		Note: "sequential = the retained pre-parallel reference engine (RunReference); " +
+			"engine = the sharded engine (Run) with workers = NumCPU. Outputs of the two " +
+			"are bit-for-bit identical; only wall-clock time differs.",
+	}
+	for _, kind := range []string{"path", "random", "smallworld"} {
+		for _, n := range []int{256, 1024, 4096} {
+			g := engineBenchGraph(kind, n)
+			rounds, seqRPS := measureEngine(t, g, 1, (*congest.Network).RunReference)
+			_, engRPS := measureEngine(t, g, runtime.NumCPU(), (*congest.Network).Run)
+			res := engineBenchResult{
+				Graph: kind, N: n, Rounds: rounds, Workers: runtime.NumCPU(),
+				SequentialRoundsPerS: seqRPS, EngineRoundsPerS: engRPS,
+				Speedup: engRPS / seqRPS,
+			}
+			out.Results = append(out.Results, res)
+			t.Logf("%-10s n=%-5d rounds=%-5d seq=%.0f r/s engine=%.0f r/s speedup=%.2fx",
+				kind, n, rounds, seqRPS, engRPS, res.Speedup)
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_engine.json")
 }
 
 func sizeName(n int) string { return "n=" + itoa(n) }

@@ -24,14 +24,16 @@ func main() {
 
 func run() error {
 	var (
-		kind = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
-		n    = flag.Int("n", 40, "number of vertices")
-		d    = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
-		p    = flag.Float64("p", 0.1, "edge probability (random)")
-		algo = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx")
-		seed = flag.Int64("seed", 1, "random seed")
+		kind    = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
+		n       = flag.Int("n", 40, "number of vertices")
+		d       = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
+		p       = flag.Float64("p", 0.1, "edge probability (random)")
+		algo    = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
 	)
 	flag.Parse()
+	engine := []qcongest.EngineOption{qcongest.WithWorkers(*workers)}
 
 	g, err := buildGraph(*kind, *n, *d, *p, *seed)
 	if err != nil {
@@ -45,14 +47,14 @@ func run() error {
 
 	switch *algo {
 	case "classical-exact":
-		res, err := qcongest.ClassicalExactDiameter(g)
+		res, err := qcongest.ClassicalExactDiameter(g, engine...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("classical exact: diameter=%d rounds=%d messages=%d\n",
 			res.Diameter, res.Metrics.Rounds, res.Metrics.Messages)
 	case "classical-approx":
-		res, err := qcongest.ClassicalApproxDiameter(g, 0, *seed)
+		res, err := qcongest.ClassicalApproxDiameter(g, 0, *seed, engine...)
 		if err != nil {
 			return err
 		}
@@ -61,11 +63,11 @@ func run() error {
 		var res qcongest.QuantumResult
 		switch *algo {
 		case "quantum-exact":
-			res, err = qcongest.QuantumExactDiameter(g, qcongest.QuantumOptions{Seed: *seed})
+			res, err = qcongest.QuantumExactDiameter(g, qcongest.QuantumOptions{Seed: *seed, Engine: engine})
 		case "quantum-simple":
-			res, err = qcongest.QuantumExactDiameterSimple(g, qcongest.QuantumOptions{Seed: *seed})
+			res, err = qcongest.QuantumExactDiameterSimple(g, qcongest.QuantumOptions{Seed: *seed, Engine: engine})
 		default:
-			res, err = qcongest.QuantumApproxDiameter(g, qcongest.QuantumOptions{Seed: *seed})
+			res, err = qcongest.QuantumApproxDiameter(g, qcongest.QuantumOptions{Seed: *seed, Engine: engine})
 		}
 		if err != nil {
 			return err

@@ -24,12 +24,14 @@ func main() {
 
 func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "engine workers per round (0 = auto; measurements are identical for any value)")
 	flag.Parse()
+	engine := congest.WithWorkers(*workers)
 
 	fmt.Println("=== Figure 1: BFS(leader) construction in O(D) rounds ===")
 	for _, n := range []int{30, 60, 120} {
 		g := qcongest.RandomConnected(n, 0.08, *seed)
-		info, m, err := congest.Preprocess(g)
+		info, m, err := congest.Preprocess(g, engine)
 		if err != nil {
 			return err
 		}
@@ -39,7 +41,7 @@ func run() error {
 
 	fmt.Println("\n=== Figure 2: Evaluation procedure (walk + waves + convergecast) ===")
 	g := qcongest.RandomConnected(40, 0.08, *seed)
-	info, _, err := congest.Preprocess(g)
+	info, _, err := congest.Preprocess(g, engine)
 	if err != nil {
 		return err
 	}
@@ -52,11 +54,11 @@ func run() error {
 		return err
 	}
 	for _, u0 := range []int{0, 13, 27} {
-		tau, mw, err := congest.TokenWalk(g, info, info.Children, u0, 2*info.D)
+		tau, mw, err := congest.TokenWalk(g, info, info.Children, u0, 2*info.D, engine)
 		if err != nil {
 			return err
 		}
-		val, mr, err := congest.EccentricitiesOf(g, info, tau, 6*info.D+2)
+		val, mr, err := congest.EccentricitiesOf(g, info, tau, 6*info.D+2, engine)
 		if err != nil {
 			return err
 		}
@@ -79,7 +81,7 @@ func run() error {
 		{"random48", qcongest.RandomConnected(48, 0.07, *seed)},
 		{"tree31", qcongest.CompleteBinaryTree(31)},
 	} {
-		minProb, bound, err := qcongest.Lemma1Coverage(tc.g)
+		minProb, bound, err := qcongest.Lemma1Coverage(tc.g, engine)
 		if err != nil {
 			return err
 		}

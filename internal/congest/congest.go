@@ -17,12 +17,35 @@
 // that the total bits sent over each directed edge in a round never exceeds
 // the configured bandwidth (default Θ(log n)); violations fail the run, so
 // passing tests prove the congestion claims (e.g. the paper's Lemma 4).
+//
+// # Execution engine
+//
+// Run executes each half-round on a pool of worker goroutines (see
+// WithWorkers): worker w owns every vertex v with v ≡ w (mod k), runs the
+// Send half for its vertices with a private edge-bit ledger and private
+// per-receiver message buffers, and after the round barrier runs the
+// Receive half for its vertices on inboxes merged from all workers'
+// buffers in ascending sender order. Because delivery order, the metrics
+// merge, and the selection of the reported validation error are all
+// canonical, a run is bit-for-bit deterministic: outputs, round counts,
+// Metrics and error messages are identical for every worker count,
+// including the k=1 serial execution. DESIGN.md ("Execution engine")
+// documents the concurrency model and the determinism argument in full.
+//
+// Node programs may be executed concurrently, at most one goroutine per
+// vertex at a time: Send(u) and Send(v) can run in parallel for u != v, and
+// likewise Receive. Programs therefore must not share mutable state across
+// vertices (all programs in this repository are pure per-vertex state
+// machines). The inbox slice passed to Receive is only valid for the
+// duration of the call and must not be retained.
 package congest
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 
 	"qcongest/internal/graph"
 )
@@ -54,9 +77,14 @@ type Env struct {
 // Node is a per-node program.
 //
 // Send returns the messages the node transmits this round. Receive delivers
-// the messages sent to the node this round. Done reports whether the node
-// has fixed its output and has nothing further to send; once every node is
-// Done at a round boundary the run stops.
+// the messages sent to the node this round; the inbox slice is owned by the
+// engine and must not be retained after the call returns. Done reports
+// whether the node has fixed its output and has nothing further to send;
+// once every node is Done at a round boundary the run stops.
+//
+// Programs at distinct vertices may run concurrently (see the package
+// comment), so a program must only touch its own per-vertex state and data
+// that stays read-only for the whole run.
 type Node interface {
 	Send(env *Env) []Outbound
 	Receive(env *Env, inbox []Inbound)
@@ -71,6 +99,11 @@ type StateSizer interface {
 }
 
 // Metrics aggregates the cost of a run.
+//
+// During a parallel run every worker accumulates a private Metrics shard;
+// the shards are merged at each round barrier (counters add, maxima take
+// the max), which is order-independent, so the merged Metrics are byte-
+// identical for every worker count.
 type Metrics struct {
 	Rounds        int // executed rounds
 	Messages      int // total messages delivered
@@ -104,6 +137,7 @@ type Network struct {
 	g         *graph.Graph
 	nodes     []Node
 	bandwidth int
+	workers   int // configured worker count; <= 0 selects the automatic rule
 	metrics   Metrics
 	observer  func(round, from, to, bits int)
 }
@@ -133,9 +167,22 @@ func WithBandwidth(bw int) Option {
 	return func(nw *Network) { nw.bandwidth = bw }
 }
 
+// WithWorkers sets the number of engine workers used by Run. k = 1 executes
+// every half-round serially; k > 1 shards the vertices over k goroutines.
+// k <= 0 (the default) selects runtime.NumCPU(), capped so that every
+// worker owns at least minVerticesPerWorker vertices — tiny networks always
+// run serially. Any worker count produces bit-for-bit identical outputs,
+// round counts and Metrics; the knob only trades wall-clock time.
+func WithWorkers(k int) Option {
+	return func(nw *Network) { nw.workers = k }
+}
+
 // WithObserver installs a callback invoked for every delivered message;
 // used by the lower-bound experiments to tally the traffic crossing a
-// vertex-partition cut (Theorem 10's simulation argument).
+// vertex-partition cut (Theorem 10's simulation argument). The callback is
+// always invoked on the caller's goroutine at the round barrier, in
+// canonical order (ascending sender id, then the sender's emission order),
+// regardless of the worker count.
 func WithObserver(fn func(round, from, to, bits int)) Option {
 	return func(nw *Network) { nw.observer = fn }
 }
@@ -175,8 +222,400 @@ func (nw *Network) Metrics() Metrics { return nw.metrics }
 // Bandwidth returns the per-edge per-round bit budget in force.
 func (nw *Network) Bandwidth() int { return nw.bandwidth }
 
+// minVerticesPerWorker is the smallest shard the automatic worker rule will
+// create: below that, the per-round barrier costs more than the shard's
+// compute, so small networks run serially.
+const minVerticesPerWorker = 64
+
+// EffectiveWorkers reports the worker count Run will use: the configured
+// value clamped to [1, n], or the automatic rule when none was configured.
+func (nw *Network) EffectiveWorkers() int {
+	n := nw.g.N()
+	k := nw.workers
+	if k <= 0 {
+		k = runtime.NumCPU()
+		if cap := n / minVerticesPerWorker; k > cap {
+			k = cap
+		}
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// phase identifiers for the worker loop.
+const (
+	phaseSend = iota
+	phaseRecv
+)
+
+// workerState is one worker's private slice of the engine state. Round
+// totals are merged into Network.metrics at the barrier; scratch buffers
+// persist across rounds so steady-state rounds allocate nothing.
+type workerState struct {
+	// Per-round accumulators, reset at the start of every send half.
+	messages     int
+	bits         int
+	maxEdgeBits  int
+	maxStateBits int
+	maxInboxSize int
+	shardDone    bool
+	err          error
+	errSender    int
+
+	// Scratch reused across rounds.
+	edge        []int // bits sent per receiver by the current sender
+	edgeTouched []int // receivers with edge[to] != 0
+	heads       []int // merge cursors, one per worker
+}
+
+// engine holds the per-run execution state of Run.
+type engine struct {
+	nw    *Network
+	n, k  int
+	round int
+	empty bool // the current round's send half produced no messages
+
+	envs    []Env
+	bufs    [][][]Inbound // bufs[w][v]: messages for v produced by worker w
+	touched [][]int       // receivers worker w buffered to this round
+	inboxes [][]Inbound   // reusable merged inbox per receiver
+	outs    [][]Outbound  // per-sender emissions, kept only for the observer
+	ws      []workerState
+
+	phase []chan int // per-worker phase mailbox (k > 1 only)
+	wg    sync.WaitGroup
+}
+
+func newEngine(nw *Network) *engine {
+	n := nw.g.N()
+	e := &engine{nw: nw, n: n, k: nw.EffectiveWorkers()}
+	e.envs = make([]Env, n)
+	for v := 0; v < n; v++ {
+		// Neighbors also sorts the adjacency lists up front, so the graph
+		// stays read-only once workers start.
+		e.envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v)}
+	}
+	e.inboxes = make([][]Inbound, n)
+	e.bufs = make([][][]Inbound, e.k)
+	e.touched = make([][]int, e.k)
+	e.ws = make([]workerState, e.k)
+	for w := 0; w < e.k; w++ {
+		e.bufs[w] = make([][]Inbound, n)
+		e.ws[w].edge = make([]int, n)
+		e.ws[w].heads = make([]int, e.k)
+	}
+	if nw.observer != nil {
+		e.outs = make([][]Outbound, n)
+	}
+	if e.k > 1 {
+		e.phase = make([]chan int, e.k)
+		for w := 0; w < e.k; w++ {
+			e.phase[w] = make(chan int, 1)
+			go e.worker(w)
+		}
+	}
+	return e
+}
+
+func (e *engine) worker(w int) {
+	for ph := range e.phase[w] {
+		if ph == phaseSend {
+			e.sendShard(w)
+		} else {
+			e.recvShard(w)
+		}
+		e.wg.Done()
+	}
+}
+
+// runPhase executes one half-round on every worker and waits for the
+// barrier. The channel send/Wait pair orders each worker's reads of the
+// fields the coordinator wrote (round, empty) and of the other workers'
+// buffers from the previous phase.
+func (e *engine) runPhase(ph int) {
+	if e.k == 1 {
+		if ph == phaseSend {
+			e.sendShard(0)
+		} else {
+			e.recvShard(0)
+		}
+		return
+	}
+	e.wg.Add(e.k)
+	for _, ch := range e.phase {
+		ch <- ph
+	}
+	e.wg.Wait()
+}
+
+func (e *engine) stop() {
+	for _, ch := range e.phase {
+		close(ch)
+	}
+}
+
+// sendShard runs the Send half for every vertex of worker w (v ≡ w mod k).
+// All writes go to worker-private state: the worker's receive buffers, its
+// edge ledger and its metrics shard. Validation stops at the shard's first
+// offending message; since an offense depends only on its own sender's
+// emissions, the shard-first error at the smallest sender id is exactly the
+// error a serial execution reports.
+func (e *engine) sendShard(w int) {
+	nw := e.nw
+	st := &e.ws[w]
+	st.err = nil
+	st.errSender = -1
+
+	// Recycle the previous round's buffers (the barrier guarantees every
+	// reader is done with them).
+	buf := e.bufs[w]
+	for _, to := range e.touched[w] {
+		buf[to] = buf[to][:0]
+	}
+	e.touched[w] = e.touched[w][:0]
+
+	var messages, bitsTotal, maxEdge int
+	round := e.round
+	edge := st.edge
+	// Zero the ledger entries left by the previous round's last sender.
+	for _, to := range st.edgeTouched {
+		edge[to] = 0
+	}
+	edgeTouched := st.edgeTouched[:0]
+	for v := w; v < e.n; v += e.k {
+		e.envs[v].Round = round
+		outs := nw.nodes[v].Send(&e.envs[v])
+		if e.outs != nil {
+			e.outs[v] = outs
+		}
+		if len(outs) == 0 {
+			continue
+		}
+		// Reset the ledger for this sender only: edges are directed, so no
+		// other sender contributes to (v, to) totals.
+		for _, to := range edgeTouched {
+			edge[to] = 0
+		}
+		edgeTouched = edgeTouched[:0]
+		for _, out := range outs {
+			if !nw.g.HasEdge(v, out.To) {
+				st.err = fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", round, v, out.To)
+				st.errSender = v
+				break
+			}
+			if out.Bits <= 0 {
+				st.err = fmt.Errorf("congest: round %d: node %d sent message with non-positive size", round, v)
+				st.errSender = v
+				break
+			}
+			if edge[out.To] == 0 {
+				edgeTouched = append(edgeTouched, out.To)
+			}
+			edge[out.To] += out.Bits
+			if eb := edge[out.To]; eb > nw.bandwidth {
+				st.err = fmt.Errorf("congest: round %d: edge %d->%d exceeds bandwidth (%d > %d bits)",
+					round, v, out.To, eb, nw.bandwidth)
+				st.errSender = v
+				break
+			} else if eb > maxEdge {
+				maxEdge = eb
+			}
+			if len(buf[out.To]) == 0 {
+				e.touched[w] = append(e.touched[w], out.To)
+			}
+			buf[out.To] = append(buf[out.To], Inbound{From: v, Payload: out.Payload, Bits: out.Bits})
+			messages++
+			bitsTotal += out.Bits
+		}
+		if st.err != nil {
+			break
+		}
+	}
+	st.edgeTouched = edgeTouched
+	st.messages = messages
+	st.bits = bitsTotal
+	st.maxEdgeBits = maxEdge
+}
+
+// finishSend merges the send half at the round barrier: it picks the
+// canonical error (the one at the smallest sender id — what a serial
+// execution hits first), folds the worker metric shards into the run
+// metrics, and replays the observer in canonical order.
+func (e *engine) finishSend() error {
+	errW := -1
+	var sent, bitsTotal, maxEdge int
+	for w := range e.ws {
+		st := &e.ws[w]
+		if st.err != nil && (errW < 0 || st.errSender < e.ws[errW].errSender) {
+			errW = w
+		}
+		sent += st.messages
+		bitsTotal += st.bits
+		if st.maxEdgeBits > maxEdge {
+			maxEdge = st.maxEdgeBits
+		}
+	}
+	if errW >= 0 {
+		return e.ws[errW].err
+	}
+	m := &e.nw.metrics
+	m.Messages += sent
+	m.Bits += bitsTotal
+	if maxEdge > m.MaxEdgeBits {
+		m.MaxEdgeBits = maxEdge
+	}
+	e.empty = sent == 0
+	if e.empty {
+		m.DroppedRounds++
+	}
+	if obs := e.nw.observer; obs != nil {
+		for v := 0; v < e.n; v++ {
+			for _, out := range e.outs[v] {
+				obs(e.round, v, out.To, out.Bits)
+			}
+		}
+	}
+	return nil
+}
+
+// recvShard runs the Receive half for every vertex of worker w. Each inbox
+// is merged from the workers' private buffers: every buffer holds messages
+// in ascending sender order and a sender's messages live in exactly one
+// buffer, so a k-way merge by sender id (ties impossible) reproduces the
+// canonical delivery order — ascending sender, emission order within a
+// sender — for every worker count.
+func (e *engine) recvShard(w int) {
+	nw := e.nw
+	st := &e.ws[w]
+	var maxState, maxInbox int
+	allDone := true
+	heads := st.heads
+	for v := w; v < e.n; v += e.k {
+		var inbox []Inbound
+		if !e.empty {
+			contributors, solo := 0, -1
+			for ww := 0; ww < e.k; ww++ {
+				if len(e.bufs[ww][v]) > 0 {
+					contributors++
+					solo = ww
+				}
+			}
+			switch contributors {
+			case 0:
+				// inbox stays nil
+			case 1:
+				inbox = e.bufs[solo][v]
+			default:
+				inbox = e.inboxes[v][:0]
+				for ww := range heads {
+					heads[ww] = 0
+				}
+				for {
+					best := -1
+					for ww := 0; ww < e.k; ww++ {
+						b := e.bufs[ww][v]
+						if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < e.bufs[best][v][heads[best]].From) {
+							best = ww
+						}
+					}
+					if best < 0 {
+						break
+					}
+					inbox = append(inbox, e.bufs[best][v][heads[best]])
+					heads[best]++
+				}
+				e.inboxes[v] = inbox
+			}
+		}
+		if len(inbox) > maxInbox {
+			maxInbox = len(inbox)
+		}
+		nd := nw.nodes[v]
+		nd.Receive(&e.envs[v], inbox)
+		if s, ok := nd.(StateSizer); ok {
+			if b := s.StateBits(); b > maxState {
+				maxState = b
+			}
+		}
+		if allDone && !nd.Done() {
+			allDone = false
+		}
+	}
+	st.maxStateBits = maxState
+	st.maxInboxSize = maxInbox
+	st.shardDone = allDone
+}
+
+// finishRecv merges the receive half and reports whether every node is Done.
+func (e *engine) finishRecv() bool {
+	m := &e.nw.metrics
+	allDone := true
+	for w := range e.ws {
+		st := &e.ws[w]
+		if st.maxStateBits > m.MaxStateBits {
+			m.MaxStateBits = st.maxStateBits
+		}
+		if st.maxInboxSize > m.MaxInboxSize {
+			m.MaxInboxSize = st.maxInboxSize
+		}
+		if !st.shardDone {
+			allDone = false
+		}
+	}
+	return allDone
+}
+
 // Run executes rounds until every node is Done, or fails after maxRounds.
+//
+// The execution is sharded over EffectiveWorkers() goroutines and is
+// deterministic for every worker count (see the package comment). On a
+// validation error the run aborts with the same error a serial execution
+// reports; programs at other vertices may then have advanced within the
+// failing round, Metrics.Rounds names the failing round, and the failing
+// round's partial traffic is not folded into the other Metrics fields.
 func (nw *Network) Run(maxRounds int) error {
+	e := newEngine(nw)
+	defer e.stop()
+
+	allDone := true
+	for _, nd := range nw.nodes {
+		if !nd.Done() {
+			allDone = false
+			break
+		}
+	}
+	for round := 1; ; round++ {
+		if allDone {
+			return nil
+		}
+		if round > maxRounds {
+			return fmt.Errorf("congest: no quiescence after %d rounds", maxRounds)
+		}
+		nw.metrics.Rounds = round
+		e.round = round
+
+		e.runPhase(phaseSend)
+		if err := e.finishSend(); err != nil {
+			return err
+		}
+		e.runPhase(phaseRecv)
+		allDone = e.finishRecv()
+	}
+}
+
+// RunReference is the original single-threaded engine, retained as the
+// behavioral baseline: the determinism tests assert that Run matches it bit
+// for bit on valid runs, and the engine benchmark (BENCH_engine.json)
+// measures Run's speedup against it. The one divergence is the error path:
+// RunReference folds the failing round's partial traffic into Metrics while
+// Run does not (both report the same error and count the failing round in
+// Metrics.Rounds). New code should call Run.
+func (nw *Network) RunReference(maxRounds int) error {
 	n := nw.g.N()
 	envs := make([]Env, n)
 	for v := 0; v < n; v++ {
@@ -236,9 +675,11 @@ func (nw *Network) Run(maxRounds int) error {
 			nw.metrics.DroppedRounds++
 		}
 
-		// Receive half: deterministic delivery order (by sender id).
+		// Receive half: deterministic delivery order (by sender id; the
+		// stable sort keeps a sender's messages in emission order, matching
+		// Run's canonical order even for multi-message edges).
 		for v := range next {
-			sort.Slice(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+			sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
 			if len(next[v]) > nw.metrics.MaxInboxSize {
 				nw.metrics.MaxInboxSize = len(next[v])
 			}

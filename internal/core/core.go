@@ -56,6 +56,11 @@ type Options struct {
 	// S overrides the sample size of ApproxDiameter (default
 	// n^{2/3} / d^{1/3} per Theorem 4).
 	S int
+	// Engine configures every CONGEST execution the algorithm performs
+	// (e.g. congest.WithWorkers). Results are engine-independent: the
+	// parallel engine is deterministic, so Engine only affects wall-clock
+	// time.
+	Engine []congest.Option
 }
 
 func (o Options) delta() float64 {
@@ -84,7 +89,7 @@ func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
-	info, pre, err := congest.Preprocess(g)
+	info, pre, err := congest.Preprocess(g, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -97,7 +102,7 @@ func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 	waveDuration := 2*d + 1
 	eval := func(u0 int) (int, int, error) {
 		tau := singleInitiator(n, u0)
-		value, m, err := congest.EccentricitiesOf(g, info, tau, waveDuration)
+		value, m, err := congest.EccentricitiesOf(g, info, tau, waveDuration, opts.Engine...)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -121,7 +126,7 @@ func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
-	info, pre, err := congest.Preprocess(g)
+	info, pre, err := congest.Preprocess(g, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -133,11 +138,11 @@ func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
 	// bottom-up max convergecast. All three phases have input-independent
 	// round counts.
 	eval := func(u0 int) (int, int, error) {
-		tau, mWalk, err := congest.TokenWalk(g, info, info.Children, u0, 2*d)
+		tau, mWalk, err := congest.TokenWalk(g, info, info.Children, u0, 2*d, opts.Engine...)
 		if err != nil {
 			return 0, 0, err
 		}
-		value, mRest, err := congest.EccentricitiesOf(g, info, tau, 6*d+2)
+		value, mRest, err := congest.EccentricitiesOf(g, info, tau, 6*d+2, opts.Engine...)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -172,7 +177,7 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 
 	// Choose s = n^{2/3} d^{-1/3} using the free 2-approximation
 	// d = ecc(leader); a preliminary Preprocess supplies d.
-	infoProbe, _, err := congest.Preprocess(g)
+	infoProbe, _, err := congest.Preprocess(g, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -188,7 +193,7 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 		s = n
 	}
 
-	prep, preM, err := congest.PrepareApprox(g, s, opts.Seed)
+	prep, preM, err := congest.PrepareApprox(g, s, opts.Seed, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -228,11 +233,11 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 		if !prep.RMembers[u0] {
 			return 0, 0, fmt.Errorf("core: evaluation input %d outside R", u0)
 		}
-		tau, mWalk, err := congest.TokenWalk(g, wInfo, prep.RChild, u0, window)
+		tau, mWalk, err := congest.TokenWalk(g, wInfo, prep.RChild, u0, window, opts.Engine...)
 		if err != nil {
 			return 0, 0, err
 		}
-		value, mRest, err := congest.EccentricitiesOf(g, wInfo, tau, waveDuration)
+		value, mRest, err := congest.EccentricitiesOf(g, wInfo, tau, waveDuration, opts.Engine...)
 		if err != nil {
 			return 0, 0, err
 		}

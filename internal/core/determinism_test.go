@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+)
+
+// The quantum algorithms drive many CONGEST executions per run (one per
+// optimization step); their outputs and full cost accounting must be
+// independent of the engine's worker count. Together with the engine-level
+// tests in internal/congest this closes the determinism argument end to
+// end: identical Evaluation values and rounds imply identical amplitude-
+// amplification trajectories and therefore identical Results.
+func TestQuantumExactDeterministicAcrossWorkers(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := graph.RandomConnected(96, 0.06, seed)
+		want, err := ExactDiameter(g, Options{Seed: seed, Engine: []congest.Option{congest.WithWorkers(1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Overshoot is impossible (every Evaluation returns a real
+		// eccentricity <= D); undershoot is a permitted delta-probability
+		// failure, so exactness is deliberately not asserted per seed.
+		if want.Diameter > truth {
+			t.Fatalf("seed %d: diameter %d overshoots truth %d", seed, want.Diameter, truth)
+		}
+		for _, k := range []int{2, 8} {
+			got, err := ExactDiameter(g, Options{Seed: seed, Engine: []congest.Option{congest.WithWorkers(k)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("seed %d workers %d: Result %+v, want %+v", seed, k, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantumApproxDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.RandomConnected(80, 0.07, 2)
+	want, err := ApproxDiameter(g, Options{Seed: 2, Engine: []congest.Option{congest.WithWorkers(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApproxDiameter(g, Options{Seed: 2, Engine: []congest.Option{congest.WithWorkers(8)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("workers 8: Result %+v, want %+v", got, want)
+	}
+}

@@ -56,7 +56,7 @@ func (s Series) Slope(x func(Point) float64) float64 {
 // ExactComparison measures the Table 1 "Exact computation" row: classical
 // Theta(n) vs quantum Õ(sqrt(nD)) rounds on constant-diameter graphs of
 // increasing size. trials averages the randomized quantum cost.
-func ExactComparison(sizes []int, diameter int, trials int, seed int64) (classical, quantum Series, err error) {
+func ExactComparison(sizes []int, diameter int, trials int, seed int64, engine ...congest.Option) (classical, quantum Series, err error) {
 	classical.Name = "classical exact (PRT12)"
 	quantum.Name = "quantum exact (Theorem 1)"
 	for _, n := range sizes {
@@ -68,7 +68,7 @@ func ExactComparison(sizes []int, diameter int, trials int, seed int64) (classic
 		if err != nil {
 			return classical, quantum, err
 		}
-		cres, err := congest.ClassicalExactDiameter(g)
+		cres, err := congest.ClassicalExactDiameter(g, engine...)
 		if err != nil {
 			return classical, quantum, err
 		}
@@ -78,7 +78,7 @@ func ExactComparison(sizes []int, diameter int, trials int, seed int64) (classic
 		})
 		totalRounds, hits, lastDiam := 0, 0, 0
 		for tr := 0; tr < trials; tr++ {
-			qres, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr)})
+			qres, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
 			if err != nil {
 				return classical, quantum, err
 			}
@@ -98,7 +98,7 @@ func ExactComparison(sizes []int, diameter int, trials int, seed int64) (classic
 
 // DiameterSweep measures quantum exact rounds as D grows with n fixed,
 // exposing the sqrt(D) factor of Theorem 1.
-func DiameterSweep(n int, diameters []int, trials int, seed int64) (Series, error) {
+func DiameterSweep(n int, diameters []int, trials int, seed int64, engine ...congest.Option) (Series, error) {
 	s := Series{Name: "quantum exact vs D"}
 	for _, d := range diameters {
 		g, err := graph.LollipopWithDiameter(n, d)
@@ -107,7 +107,7 @@ func DiameterSweep(n int, diameters []int, trials int, seed int64) (Series, erro
 		}
 		total, hits, last := 0, 0, 0
 		for tr := 0; tr < trials; tr++ {
-			res, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr)})
+			res, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
 			if err != nil {
 				return s, err
 			}
@@ -123,7 +123,7 @@ func DiameterSweep(n int, diameters []int, trials int, seed int64) (Series, erro
 }
 
 // ApproxComparison measures the Table 1 "3/2-approximation" row.
-func ApproxComparison(sizes []int, diameter int, trials int, seed int64) (classical, quantum Series, err error) {
+func ApproxComparison(sizes []int, diameter int, trials int, seed int64, engine ...congest.Option) (classical, quantum Series, err error) {
 	classical.Name = "classical 3/2-approx (HPRW14)"
 	quantum.Name = "quantum 3/2-approx (Theorem 4)"
 	for _, n := range sizes {
@@ -135,7 +135,7 @@ func ApproxComparison(sizes []int, diameter int, trials int, seed int64) (classi
 		if err != nil {
 			return classical, quantum, err
 		}
-		cres, err := congest.ClassicalApproxDiameter(g, 0, seed)
+		cres, err := congest.ClassicalApproxDiameter(g, 0, seed, engine...)
 		if err != nil {
 			return classical, quantum, err
 		}
@@ -145,7 +145,7 @@ func ApproxComparison(sizes []int, diameter int, trials int, seed int64) (classi
 		})
 		total, hits, last := 0, 0, 0
 		for tr := 0; tr < trials; tr++ {
-			qres, err := core.ApproxDiameter(g, core.Options{Seed: seed + int64(tr)})
+			qres, err := core.ApproxDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
 			if err != nil {
 				return classical, quantum, err
 			}
@@ -168,8 +168,8 @@ func approxOK(estimate, diam int) bool {
 
 // Lemma1Coverage measures min over v of Pr[v in S(u0)] for uniform u0 and
 // compares it with the paper's bound d/2n.
-func Lemma1Coverage(g *graph.Graph) (minProb, bound float64, err error) {
-	info, _, err := congest.Preprocess(g)
+func Lemma1Coverage(g *graph.Graph, engine ...congest.Option) (minProb, bound float64, err error) {
+	info, _, err := congest.Preprocess(g, engine...)
 	if err != nil {
 		return 0, 0, err
 	}

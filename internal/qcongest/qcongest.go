@@ -21,6 +21,14 @@
 // The engine asserts that the Evaluation procedure's measured round count is
 // identical for every input in the domain: that input-independence is what
 // makes "running it in superposition" cost a single execution.
+//
+// Evaluation closures typically run whole CONGEST executions on the
+// parallel round engine of internal/congest. Because that engine is
+// bit-for-bit deterministic for every worker count (see DESIGN.md,
+// "Execution engine"), the per-input values and round counts the Optimizer
+// sees — and hence the optimization's outcome and cost accounting — do not
+// depend on the engine configuration the caller threads through
+// core.Options.Engine.
 package qcongest
 
 import (

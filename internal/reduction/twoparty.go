@@ -31,7 +31,7 @@ type SimulationResult struct {
 // two-party costs are returned. The run fails if the algorithm's diameter
 // output falls strictly between d1 and d2 (impossible for a correct
 // reduction).
-func TwoPartyFromCongest(red *Reduction, x, y *bitstring.Bits) (SimulationResult, error) {
+func TwoPartyFromCongest(red *Reduction, x, y *bitstring.Bits, engine ...congest.Option) (SimulationResult, error) {
 	var res SimulationResult
 	g, err := red.Build(x, y)
 	if err != nil {
@@ -48,7 +48,8 @@ func TwoPartyFromCongest(red *Reduction, x, y *bitstring.Bits) (SimulationResult
 		perRound[round] = e
 		res.CutBits += bits
 	}
-	out, err := congest.ClassicalExactDiameter(g, congest.WithObserver(observer))
+	opts := append([]congest.Option{congest.WithObserver(observer)}, engine...)
+	out, err := congest.ClassicalExactDiameter(g, opts...)
 	if err != nil {
 		return res, err
 	}

@@ -14,6 +14,13 @@
 //   - the lower-bound machinery (NewHW12Reduction, NewACHK16Reduction,
 //     BlockedGroverDisj, the G_d simulation of Theorem 11).
 //
+// All four layers execute on the shared CONGEST round engine
+// (internal/congest), which shards every round over a pool of workers; the
+// execution is bit-for-bit deterministic for any worker count, so
+// WithWorkers only trades wall-clock time. Engine options (WithWorkers,
+// WithBandwidth) are accepted by every classical entry point and by the
+// Engine field of QuantumOptions.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results versus the paper's claims.
 package qcongest
@@ -61,16 +68,32 @@ var (
 // ClassicalResult is the outcome of a classical CONGEST algorithm run.
 type ClassicalResult = congest.ExactResult
 
+// EngineOption configures the CONGEST round engine (worker count,
+// bandwidth, observers). Every option is deterministic: for a fixed seed
+// the computed outputs, round counts and Metrics are identical whatever the
+// engine configuration, with the sole exception of WithBandwidth, which
+// changes the model itself.
+type EngineOption = congest.Option
+
+// Engine options.
+var (
+	// WithWorkers shards round execution over k goroutines (k <= 0 selects
+	// the automatic rule; 1 runs serially). Output is identical for all k.
+	WithWorkers = congest.WithWorkers
+	// WithBandwidth overrides the per-edge per-round bit budget.
+	WithBandwidth = congest.WithBandwidth
+)
+
 // ClassicalExactDiameter computes the exact diameter with the classical
 // O(n)-round baseline of [PRT12] (Table 1 row 1, classical column).
-func ClassicalExactDiameter(g *Graph) (ClassicalResult, error) {
-	return congest.ClassicalExactDiameter(g)
+func ClassicalExactDiameter(g *Graph, opts ...EngineOption) (ClassicalResult, error) {
+	return congest.ClassicalExactDiameter(g, opts...)
 }
 
 // ClassicalApproxDiameter computes the [HPRW14] 3/2-approximation in
 // Õ(sqrt(n)+D) rounds. s <= 0 selects the default sample size sqrt(n).
-func ClassicalApproxDiameter(g *Graph, s int, seed int64) (ClassicalResult, error) {
-	return congest.ClassicalApproxDiameter(g, s, seed)
+func ClassicalApproxDiameter(g *Graph, s int, seed int64, opts ...EngineOption) (ClassicalResult, error) {
+	return congest.ClassicalApproxDiameter(g, s, seed, opts...)
 }
 
 // QuantumResult is the outcome of a quantum diameter computation.
