@@ -60,8 +60,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("DISJ decided: %d; rounds=%d cut-bits=%d messages=%d (<= 2*rounds)\n",
-		sim.Disj, sim.Rounds, sim.CutBits, sim.Protocol.Messages)
+	// The transcript is the captured encoding of the cut traffic; its
+	// length IS the communication cost (no summed declared sizes anywhere).
+	if sim.Transcript.Len() != sim.CutBits {
+		return fmt.Errorf("transcript %d bits but CutBits %d", sim.Transcript.Len(), sim.CutBits)
+	}
+	fmt.Printf("DISJ decided: %d; rounds=%d transcript=%d bits messages=%d (<= 2*rounds)\n",
+		sim.Disj, sim.Rounds, sim.Transcript.Len(), sim.Protocol.Messages)
+	prefix := sim.Transcript.String()
+	if len(prefix) > 64 {
+		prefix = prefix[:64] + "..."
+	}
+	fmt.Printf("transcript prefix: %s\n", prefix)
 
 	fmt.Println("\n=== Figure 8: subdivided graphs, diameter d+4 vs d+5 ===")
 	for _, d := range []int{2, 5, 10} {

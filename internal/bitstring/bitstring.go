@@ -72,6 +72,18 @@ func (b *Bits) Set(i int, v bool) {
 	}
 }
 
+// AppendBit grows the vector by one bit holding v. It makes Bits usable as
+// a transcript accumulator (e.g. the Theorem 10 cut-traffic capture).
+func (b *Bits) AppendBit(v bool) {
+	if b.n%64 == 0 && b.n/64 == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if v {
+		b.words[b.n/64] |= 1 << (uint(b.n) % 64)
+	}
+	b.n++
+}
+
 // Count returns the number of set bits.
 func (b *Bits) Count() int {
 	c := 0

@@ -126,3 +126,38 @@ func TestDisjProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendBit(t *testing.T) {
+	b := New(0)
+	pattern := "1011001110001111000011111000001"
+	for _, r := range pattern {
+		b.AppendBit(r == '1')
+	}
+	if b.Len() != len(pattern) || b.String() != pattern {
+		t.Fatalf("appended %q (len %d), want %q", b.String(), b.Len(), pattern)
+	}
+	// Growth across word boundaries preserves earlier bits.
+	for i := 0; i < 200; i++ {
+		b.AppendBit(i%3 == 0)
+	}
+	if b.Len() != len(pattern)+200 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	for i, r := range pattern {
+		if b.Get(i) != (r == '1') {
+			t.Fatalf("bit %d corrupted after growth", i)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if b.Get(len(pattern)+i) != (i%3 == 0) {
+			t.Fatalf("appended bit %d wrong", i)
+		}
+	}
+	// AppendBit composes with a non-empty fixed-size start.
+	c := New(64)
+	c.Set(63, true)
+	c.AppendBit(true)
+	if c.Len() != 65 || !c.Get(63) || !c.Get(64) {
+		t.Fatalf("append onto full word: %s", c.String())
+	}
+}

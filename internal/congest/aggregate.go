@@ -8,13 +8,37 @@ package congest
 
 type (
 	// msgMax carries a partial maximum (value, witness id) up the tree.
+	// Values are distances and similar counters bounded by 4n (width
+	// BitsForID(4n+1)); the witness is a vertex id (width BitsForID(n)).
 	msgMax struct {
 		Value   int
 		Witness int
 	}
-	// msgBcast carries the root's value down the tree.
+	// msgBcast carries the root's value down the tree. Broadcast values
+	// (d, thresholds, vertex ids) are bounded by 4n.
 	msgBcast struct{ Value int }
 )
+
+func (m *msgMax) WireKind() Kind { return KindMax }
+func (m *msgMax) MarshalWire(w *Writer) {
+	w.WriteID(m.Value, 4*w.N+1)
+	w.WriteID(m.Witness, w.N)
+}
+func (m *msgMax) UnmarshalWire(r *Reader) {
+	m.Value = r.ReadID(4*r.N + 1)
+	m.Witness = r.ReadID(r.N)
+}
+func (m *msgMax) DeclaredBits(n int) int { return KindBits + BitsForID(4*n+1) + BitsForID(n) }
+
+func (m *msgBcast) WireKind() Kind          { return KindBcast }
+func (m *msgBcast) MarshalWire(w *Writer)   { w.WriteID(m.Value, 4*w.N+1) }
+func (m *msgBcast) UnmarshalWire(r *Reader) { m.Value = r.ReadID(4*r.N + 1) }
+func (m *msgBcast) DeclaredBits(n int) int  { return KindBits + BitsForID(4*n+1) }
+
+func init() {
+	RegisterKind(KindMax, "max", func() WireMessage { return new(msgMax) })
+	RegisterKind(KindBcast, "bcast", func() WireMessage { return new(msgBcast) })
+}
 
 // ConvergecastMaxNode aggregates the maximum of per-node input values at
 // the root. Each node waits for all of its children, then forwards the max
@@ -33,6 +57,8 @@ type ConvergecastMaxNode struct {
 	received int
 	sent     bool
 	isRoot   bool
+
+	tx, rx msgMax
 }
 
 // NewConvergecastMaxNode builds the program for one node. witness
@@ -50,29 +76,29 @@ func NewConvergecastMaxNode(parent int, children []int, value, witness int) *Con
 }
 
 // Send implements Node.
-func (c *ConvergecastMaxNode) Send(env *Env) []Outbound {
+func (c *ConvergecastMaxNode) Send(env *Env, out *Outbox) {
 	if c.sent || c.received < len(c.Children) {
-		return nil
+		return
 	}
 	c.sent = true
 	if c.isRoot {
-		return nil
+		return
 	}
-	bits := 2 * BitsForID(4*env.N+1)
-	return []Outbound{{To: c.Parent, Payload: msgMax{Value: c.Max, Witness: c.MaxWitness}, Bits: bits}}
+	c.tx = msgMax{Value: c.Max, Witness: c.MaxWitness}
+	out.Put(c.Parent, &c.tx)
 }
 
 // Receive implements Node.
 func (c *ConvergecastMaxNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		m, ok := in.Payload.(msgMax)
-		if !ok {
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindMax || in.Decode(env, &c.rx) != nil {
 			continue
 		}
 		c.received++
-		if m.Value > c.Max || (m.Value == c.Max && m.Witness < c.MaxWitness) {
-			c.Max = m.Value
-			c.MaxWitness = m.Witness
+		if c.rx.Value > c.Max || (c.rx.Value == c.Max && c.rx.Witness < c.MaxWitness) {
+			c.Max = c.rx.Value
+			c.MaxWitness = c.rx.Witness
 		}
 	}
 }
@@ -93,6 +119,8 @@ type BroadcastNode struct {
 
 	have bool
 	sent bool
+
+	tx, rx msgBcast
 }
 
 // NewBroadcastNode builds the program for one node; value is ignored except
@@ -106,26 +134,24 @@ func NewBroadcastNode(parent int, children []int, value int) *BroadcastNode {
 }
 
 // Send implements Node.
-func (b *BroadcastNode) Send(env *Env) []Outbound {
+func (b *BroadcastNode) Send(env *Env, out *Outbox) {
 	if !b.have || b.sent {
-		return nil
+		return
 	}
 	b.sent = true
-	out := make([]Outbound, 0, len(b.Children))
-	bits := BitsForID(4*env.N + 1)
-	for _, c := range b.Children {
-		out = append(out, Outbound{To: c, Payload: msgBcast{Value: b.Value}, Bits: bits})
-	}
-	return out
+	b.tx.Value = b.Value
+	out.Broadcast(b.Children, &b.tx)
 }
 
 // Receive implements Node.
 func (b *BroadcastNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		if m, ok := in.Payload.(msgBcast); ok {
-			b.Value = m.Value
-			b.have = true
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindBcast || in.Decode(env, &b.rx) != nil {
+			continue
 		}
+		b.Value = b.rx.Value
+		b.have = true
 	}
 }
 

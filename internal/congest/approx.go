@@ -31,7 +31,8 @@ type ApproxPrep struct {
 }
 
 // notifyNode is a one-shot program: every marked node tells its tree parent
-// that it is marked, so parents learn their marked children.
+// that it is marked, so parents learn their marked children. The
+// notification is a bare msgChild — the kind tag is the whole message.
 type notifyNode struct {
 	Parent int
 	Marked bool
@@ -39,23 +40,24 @@ type notifyNode struct {
 	MarkedChildren []int
 
 	sent bool
+	tx   msgChild
 }
 
-func (nn *notifyNode) Send(env *Env) []Outbound {
+func (nn *notifyNode) Send(env *Env, out *Outbox) {
 	if nn.sent {
-		return nil
+		return
 	}
 	nn.sent = true
 	if !nn.Marked || nn.Parent < 0 {
-		return nil
+		return
 	}
-	return []Outbound{{To: nn.Parent, Payload: msgChild{}, Bits: 1}}
+	out.Put(nn.Parent, &nn.tx)
 }
 
 func (nn *notifyNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		if _, ok := in.Payload.(msgChild); ok {
-			nn.MarkedChildren = append(nn.MarkedChildren, in.From)
+	for i := range inbox {
+		if inbox[i].Kind == KindChild {
+			nn.MarkedChildren = append(nn.MarkedChildren, inbox[i].From)
 		}
 	}
 }

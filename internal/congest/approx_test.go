@@ -45,11 +45,13 @@ func TestConvergecastSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Per-node values within the counting regime the message format is
+	// sized for (partial sums fit in 2*BitsForID(n) bits).
 	vals := make([]int, g.N())
 	want := 0
 	for v := range vals {
-		vals[v] = v * v
-		want += v * v
+		vals[v] = v % 5
+		want += vals[v]
 	}
 	got, _, err := Sum(g, info, vals)
 	if err != nil {
@@ -60,6 +62,27 @@ func TestConvergecastSum(t *testing.T) {
 	}
 }
 
+// Values beyond a message's documented field cap cannot be smuggled into a
+// run: the encoder refuses instead of silently undercharging — the failure
+// mode the declared-size convention used to allow.
+func TestAggregationRejectsOverCapValues(t *testing.T) {
+	g := graph.CompleteBinaryTree(15)
+	info, _, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, g.N())
+	for v := range vals {
+		vals[v] = v * v * v // partial sums overflow 2*BitsForID(n) bits
+	}
+	if _, _, err := Sum(g, info, vals); err == nil {
+		t.Error("over-cap convergecast sum accepted")
+	}
+	if _, err := Broadcast(g, info, 1<<20); err == nil {
+		t.Error("over-cap broadcast value accepted")
+	}
+}
+
 func TestConvergecastMaxWitness(t *testing.T) {
 	g := graph.Grid(3, 5)
 	info, _, err := Preprocess(g)
@@ -67,14 +90,14 @@ func TestConvergecastMaxWitness(t *testing.T) {
 		t.Fatal(err)
 	}
 	vals := make([]int, g.N())
-	vals[7] = 99
-	vals[11] = 99
+	vals[7] = 42
+	vals[11] = 42
 	maxV, wit, _, err := ConvergecastMax(g, info, vals, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if maxV != 99 || wit != 7 { // smallest witness wins ties
-		t.Errorf("max,witness = %d,%d want 99,7", maxV, wit)
+	if maxV != 42 || wit != 7 { // smallest witness wins ties
+		t.Errorf("max,witness = %d,%d want 42,7", maxV, wit)
 	}
 }
 
@@ -85,7 +108,7 @@ func TestBroadcastReachesAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	nw, err := NewNetwork(g, func(v int) Node {
-		return NewBroadcastNode(info.Parent[v], info.Children[v], 4242)
+		return NewBroadcastNode(info.Parent[v], info.Children[v], 42)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +117,7 @@ func TestBroadcastReachesAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := 0; v < g.N(); v++ {
-		if got := nw.Node(v).(*BroadcastNode).Value; got != 4242 {
+		if got := nw.Node(v).(*BroadcastNode).Value; got != 42 {
 			t.Errorf("node %d: value %d", v, got)
 		}
 	}

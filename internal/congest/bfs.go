@@ -5,18 +5,42 @@ package congest
 // (augmented with child discovery) and the convergecast that computes
 // ecc(root) at the root.
 
-// Wire payloads. Every payload's bit size is declared explicitly where it
-// is sent; all are O(log n).
+// Wire payloads. Each type defines its encoding (see DESIGN.md, "Wire
+// format"); the engine charges the encoded length, and DeclaredBits states
+// the size formula that WithStrictAccounting verifies against the wire.
 type (
 	// msgActivate is the Figure 1 activation message carrying the
-	// sender's distance to the root.
+	// sender's distance to the root (also reused by the max-id flood of
+	// leader election, so the field ranges over [0, n)).
 	msgActivate struct{ Dist int }
-	// msgChild tells the receiver "you are my BFS parent".
+	// msgChild tells the receiver "you are my BFS parent". No payload:
+	// the kind tag alone carries the information.
 	msgChild struct{}
 	// msgEccReport carries the maximum root-distance in the sender's
 	// subtree toward the root.
 	msgEccReport struct{ Max int }
 )
+
+func (m *msgActivate) WireKind() Kind          { return KindActivate }
+func (m *msgActivate) MarshalWire(w *Writer)   { w.WriteID(m.Dist, w.N) }
+func (m *msgActivate) UnmarshalWire(r *Reader) { m.Dist = r.ReadID(r.N) }
+func (m *msgActivate) DeclaredBits(n int) int  { return KindBits + BitsForID(n) }
+
+func (m *msgChild) WireKind() Kind          { return KindChild }
+func (m *msgChild) MarshalWire(w *Writer)   {}
+func (m *msgChild) UnmarshalWire(r *Reader) {}
+func (m *msgChild) DeclaredBits(n int) int  { return KindBits }
+
+func (m *msgEccReport) WireKind() Kind          { return KindEccReport }
+func (m *msgEccReport) MarshalWire(w *Writer)   { w.WriteID(m.Max, w.N) }
+func (m *msgEccReport) UnmarshalWire(r *Reader) { m.Max = r.ReadID(r.N) }
+func (m *msgEccReport) DeclaredBits(n int) int  { return KindBits + BitsForID(n) }
+
+func init() {
+	RegisterKind(KindActivate, "activate", func() WireMessage { return new(msgActivate) })
+	RegisterKind(KindChild, "child", func() WireMessage { return new(msgChild) })
+	RegisterKind(KindEccReport, "ecc-report", func() WireMessage { return new(msgEccReport) })
+}
 
 // BFSNode runs the Figure 1 BFS construction from a fixed root, augmented
 // with (a) child notification, so every node learns its tree children, and
@@ -40,6 +64,16 @@ type BFSNode struct {
 	reported       bool
 	childReports   map[int]int
 	done           bool
+
+	tx struct {
+		activate msgActivate
+		child    msgChild
+		ecc      msgEccReport
+	}
+	rx struct {
+		activate msgActivate
+		ecc      msgEccReport
+	}
 }
 
 // NewBFSNode returns the program for one node.
@@ -48,21 +82,18 @@ func NewBFSNode(root int) *BFSNode {
 }
 
 // Send implements Node.
-func (b *BFSNode) Send(env *Env) []Outbound {
-	var out []Outbound
+func (b *BFSNode) Send(env *Env, out *Outbox) {
 	if env.ID == b.Root && !b.activated {
 		b.activated = true
 		b.Dist = 0
 	}
-	idBits := BitsForID(env.N)
 	if b.activated && !b.activationSent {
 		b.activationSent = true
-		for _, nb := range env.Neighbors {
-			out = append(out, Outbound{To: nb, Payload: msgActivate{Dist: b.Dist}, Bits: idBits})
-		}
+		b.tx.activate.Dist = b.Dist
+		out.Broadcast(env.Neighbors, &b.tx.activate)
 		if b.Parent >= 0 && !b.childNotified {
 			b.childNotified = true
-			out = append(out, Outbound{To: b.Parent, Payload: msgChild{}, Bits: 1})
+			out.Put(b.Parent, &b.tx.child)
 		}
 	}
 	if b.readyToReport() {
@@ -72,11 +103,11 @@ func (b *BFSNode) Send(env *Env) []Outbound {
 			b.Ecc = maxDepth
 			b.done = true
 		} else {
-			out = append(out, Outbound{To: b.Parent, Payload: msgEccReport{Max: maxDepth}, Bits: idBits})
+			b.tx.ecc.Max = maxDepth
+			out.Put(b.Parent, &b.tx.ecc)
 			b.done = true
 		}
 	}
-	return out
 }
 
 func (b *BFSNode) readyToReport() bool {
@@ -98,18 +129,25 @@ func (b *BFSNode) subtreeMax() int {
 
 // Receive implements Node.
 func (b *BFSNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		switch p := in.Payload.(type) {
-		case msgActivate:
+	for i := range inbox {
+		in := &inbox[i]
+		switch in.Kind {
+		case KindActivate:
+			if in.Decode(env, &b.rx.activate) != nil {
+				continue
+			}
 			if !b.activated {
 				b.activated = true
-				b.Dist = p.Dist + 1
+				b.Dist = b.rx.activate.Dist + 1
 				b.Parent = in.From // smallest id first: inbox sorted by sender
 			}
-		case msgChild:
+		case KindChild:
 			b.Children = append(b.Children, in.From)
-		case msgEccReport:
-			b.childReports[in.From] = p.Max
+		case KindEccReport:
+			if in.Decode(env, &b.rx.ecc) != nil {
+				continue
+			}
+			b.childReports[in.From] = b.rx.ecc.Max
 		}
 	}
 	// A node activated at the end of round r receives child notifications
@@ -137,6 +175,8 @@ type LeaderElectNode struct {
 	Leader  int
 	pending bool
 	started bool
+
+	tx, rx msgActivate
 }
 
 // NewLeaderElectNode returns the program for one node.
@@ -145,28 +185,29 @@ func NewLeaderElectNode() *LeaderElectNode {
 }
 
 // Send implements Node.
-func (l *LeaderElectNode) Send(env *Env) []Outbound {
+func (l *LeaderElectNode) Send(env *Env, out *Outbox) {
 	if !l.started {
 		l.started = true
 		l.Leader = env.ID
 		l.pending = true
 	}
 	if !l.pending {
-		return nil
+		return
 	}
 	l.pending = false
-	out := make([]Outbound, 0, len(env.Neighbors))
-	for _, nb := range env.Neighbors {
-		out = append(out, Outbound{To: nb, Payload: msgActivate{Dist: l.Leader}, Bits: BitsForID(env.N)})
-	}
-	return out
+	l.tx.Dist = l.Leader
+	out.Broadcast(env.Neighbors, &l.tx)
 }
 
 // Receive implements Node.
 func (l *LeaderElectNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		if p, ok := in.Payload.(msgActivate); ok && p.Dist > l.Leader {
-			l.Leader = p.Dist
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindActivate || in.Decode(env, &l.rx) != nil {
+			continue
+		}
+		if l.rx.Dist > l.Leader {
+			l.Leader = l.rx.Dist
 			l.pending = true
 		}
 	}

@@ -13,24 +13,33 @@
 //
 // # Bandwidth accounting
 //
-// Every outbound message declares its size in bits. The engine enforces
-// that the total bits sent over each directed edge in a round never exceeds
-// the configured bandwidth (default Θ(log n)); violations fail the run, so
-// passing tests prove the congestion claims (e.g. the paper's Lemma 4).
+// Messages are typed wire messages (see wire.go): a node emits them through
+// Outbox.Put, the engine marshals each one into a packed bit arena, and the
+// message's cost is its encoded length — kind tag plus payload — in bits.
+// Nothing is declared and trusted: Metrics.Bits, Metrics.MaxEdgeBits and
+// the bandwidth checks are all derived from the encoding, and the engine
+// enforces that the total encoded bits sent over each directed edge in a
+// round never exceed the configured bandwidth (default Θ(log n)).
+// Violations fail the run, so passing tests prove the congestion claims
+// (e.g. the paper's Lemma 4) over real bit counts. WithStrictAccounting
+// additionally cross-checks any legacy declared size formula
+// (BitsDeclarer) against the encoded length.
 //
 // # Execution engine
 //
 // Run executes each half-round on a pool of worker goroutines (see
 // WithWorkers): worker w owns every vertex v with v ≡ w (mod k), runs the
-// Send half for its vertices with a private edge-bit ledger and private
-// per-receiver message buffers, and after the round barrier runs the
-// Receive half for its vertices on inboxes merged from all workers'
-// buffers in ascending sender order. Because delivery order, the metrics
-// merge, and the selection of the reported validation error are all
-// canonical, a run is bit-for-bit deterministic: outputs, round counts,
-// Metrics and error messages are identical for every worker count,
-// including the k=1 serial execution. DESIGN.md ("Execution engine")
-// documents the concurrency model and the determinism argument in full.
+// Send half for its vertices with a private Outbox (arena, edge-bit ledger
+// and metrics shard) and private per-receiver message buffers, and after
+// the round barrier runs the Receive half for its vertices on inboxes
+// merged from all workers' buffers in ascending sender order. Because
+// delivery order, the metrics merge, and the selection of the reported
+// validation error are all canonical, a run is bit-for-bit deterministic:
+// outputs, round counts, Metrics and error messages are identical for every
+// worker count, including the k=1 serial execution. Encoded messages live
+// in recycled per-worker arenas, so steady-state rounds allocate nothing.
+// DESIGN.md ("Execution engine", "Wire format") documents the concurrency
+// model, the determinism argument and the message encodings in full.
 //
 // Node programs may be executed concurrently, at most one goroutine per
 // vertex at a time: Send(u) and Send(v) can run in parallel for u != v, and
@@ -42,26 +51,243 @@ package congest
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 
 	"qcongest/internal/graph"
 )
 
-// Inbound is a message as seen by its receiver.
+// Inbound is a message as seen by its receiver: the sender, the decoded
+// kind tag, the encoded length in bits (tag included), and the encoded
+// payload, which Decode unpacks into a typed message.
 type Inbound struct {
-	From    int
-	Payload any
-	Bits    int
+	From int
+	Kind Kind
+	Bits int
+
+	wire WireView
 }
 
-// Outbound is a message as produced by its sender.
-type Outbound struct {
-	To      int
-	Payload any
-	Bits    int
+// Decode unpacks the message payload into m, whose WireKind must equal the
+// inbound kind. The env must be the one the engine passed to Receive (it
+// holds the per-vertex decode scratch, which is what keeps the receive
+// path allocation-free); decode into a reusable struct for the same
+// reason.
+func (in *Inbound) Decode(env *Env, m WireMessage) error {
+	if k := m.WireKind(); k != in.Kind {
+		return fmt.Errorf("congest: cannot decode %v message into %v", in.Kind, k)
+	}
+	rd := &env.rd // rd.N is fixed to env.N by the engine
+	rd.words = in.wire.words
+	rd.off = int(in.wire.off) + KindBits
+	rd.end = int(in.wire.off) + int(in.wire.bits)
+	if rd.err != nil {
+		rd.err = nil
+	}
+	m.UnmarshalWire(rd)
+	if rd.err != nil {
+		return rd.err
+	}
+	// The wire contract is exact: UnmarshalWire must consume every payload
+	// bit MarshalWire wrote, or the codec pair is inconsistent.
+	if left := rd.Remaining(); left != 0 {
+		return fmt.Errorf("congest: %v decode left %d of %d payload bits unread", in.Kind, left, int(in.wire.bits)-KindBits)
+	}
+	return nil
+}
+
+// Wire returns the encoded message (kind tag included). Like the inbox, the
+// view is only valid for the duration of the Receive call.
+func (in *Inbound) Wire() WireView { return in.wire }
+
+// stagedMsg is one encoded outbound message awaiting delivery.
+type stagedMsg struct {
+	to   int
+	kind Kind
+	bits int
+	wire WireView
+}
+
+// Outbox collects the messages a node sends in one round. Put marshals the
+// message into the worker's bit arena immediately — the encoded length is
+// the message's cost — validates the destination, the encoding, and the
+// per-edge bandwidth budget, and stages the message straight into the
+// worker's per-receiver delivery buffers. After the first violation the
+// Outbox goes inert and the run aborts with that error at the round
+// barrier.
+type Outbox struct {
+	nw     *Network
+	round  int
+	sender int
+
+	arena Writer
+
+	// Delivery buffers: buf[to] accumulates this round's messages for
+	// receiver `to`; touched lists the non-empty entries so the next round
+	// can recycle them without sweeping all n receivers.
+	buf     [][]Inbound
+	touched []int
+
+	// Observer support: the current sender's emissions in order, kept only
+	// when a run observer needs the canonical replay.
+	keepMsgs bool
+	msgs     []stagedMsg
+
+	// Per-round accounting (the worker's metrics shard).
+	messages  int
+	bitsTotal int
+	maxEdge   int
+	err       error
+	errSender int
+
+	// Directed-edge bit ledger for the current sender.
+	edge        []int
+	edgeTouched []int
+}
+
+func newOutbox(nw *Network, n int) *Outbox {
+	return &Outbox{
+		nw:        nw,
+		buf:       make([][]Inbound, n),
+		keepMsgs:  nw.observer != nil,
+		edge:      make([]int, n),
+		errSender: -1,
+	}
+}
+
+// beginRound resets the per-round state: the arena words and the delivery
+// buffers are recycled, so steady-state rounds allocate nothing.
+func (o *Outbox) beginRound(round int) {
+	o.round = round
+	o.sender = -1
+	o.arena.Reset(o.nw.g.N())
+	for _, to := range o.touched {
+		o.buf[to] = o.buf[to][:0]
+	}
+	o.touched = o.touched[:0]
+	o.messages = 0
+	o.bitsTotal = 0
+	o.maxEdge = 0
+	o.err = nil
+	o.errSender = -1
+	o.clearLedger()
+}
+
+// begin starts staging for sender v. Edges are directed, so the per-edge
+// ledger resets per sender: no other sender contributes to (v, to) totals.
+func (o *Outbox) begin(v int) {
+	o.sender = v
+	if o.keepMsgs {
+		o.msgs = o.msgs[:0]
+	}
+	o.clearLedger()
+}
+
+func (o *Outbox) clearLedger() {
+	for _, to := range o.edgeTouched {
+		o.edge[to] = 0
+	}
+	o.edgeTouched = o.edgeTouched[:0]
+}
+
+func (o *Outbox) fail(err error) {
+	o.err = err
+	o.errSender = o.sender
+}
+
+// encode marshals m (kind tag + payload) into the arena and returns its
+// start offset and encoded length. ok is false after a validation failure.
+func (o *Outbox) encode(m WireMessage) (start, bits int, k Kind, ok bool) {
+	k = m.WireKind()
+	if !Registered(k) {
+		o.fail(fmt.Errorf("congest: round %d: node %d sent a message of unregistered kind %d",
+			o.round, o.sender, uint8(k)))
+		return 0, 0, k, false
+	}
+	start = o.arena.Len()
+	o.arena.WriteUint(uint64(k), KindBits)
+	m.MarshalWire(&o.arena)
+	if err := o.arena.Err(); err != nil {
+		o.fail(fmt.Errorf("congest: round %d: node %d: encoding %v message: %w",
+			o.round, o.sender, k, err))
+		return 0, 0, k, false
+	}
+	bits = o.arena.Len() - start
+	if o.nw.strict {
+		if d, isDecl := m.(BitsDeclarer); isDecl {
+			if want := d.DeclaredBits(o.arena.N); want != bits {
+				o.fail(fmt.Errorf("congest: round %d: node %d: %v message declares %d bits but encodes to %d",
+					o.round, o.sender, k, want, bits))
+				return 0, 0, k, false
+			}
+		}
+	}
+	return start, bits, k, true
+}
+
+// stageTo validates the destination and the per-edge bandwidth for one copy
+// of an encoded message and stages it into the delivery buffer.
+func (o *Outbox) stageTo(to int, k Kind, bits int, view WireView) {
+	if o.err != nil {
+		return
+	}
+	if !o.nw.g.HasEdge(o.sender, to) {
+		o.fail(fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", o.round, o.sender, to))
+		return
+	}
+	if o.edge[to] == 0 {
+		o.edgeTouched = append(o.edgeTouched, to)
+	}
+	o.edge[to] += bits
+	if eb := o.edge[to]; eb > o.nw.bandwidth {
+		o.fail(fmt.Errorf("congest: round %d: edge %d->%d exceeds bandwidth (%d > %d bits)",
+			o.round, o.sender, to, eb, o.nw.bandwidth))
+		return
+	} else if eb > o.maxEdge {
+		o.maxEdge = eb
+	}
+	if len(o.buf[to]) == 0 {
+		o.touched = append(o.touched, to)
+	}
+	o.buf[to] = append(o.buf[to], Inbound{From: o.sender, Kind: k, Bits: bits, wire: view})
+	if o.keepMsgs {
+		o.msgs = append(o.msgs, stagedMsg{to: to, kind: k, bits: bits, wire: view})
+	}
+	o.messages++
+	o.bitsTotal += bits
+}
+
+// Put encodes and stages one message to neighbor `to`. The cost charged
+// against the edge bandwidth is the encoded length in bits, kind tag
+// included; there is no way to send bits the encoder did not produce.
+func (o *Outbox) Put(to int, m WireMessage) {
+	if o.err != nil {
+		return
+	}
+	start, bits, k, ok := o.encode(m)
+	if !ok {
+		return
+	}
+	o.stageTo(to, k, bits, o.arena.view(start, bits))
+}
+
+// Broadcast sends the identical message to every target, in slice order.
+// It is equivalent to calling Put once per target but marshals the message
+// a single time — the natural emission for the flooding pattern most
+// CONGEST algorithms use. Each copy is charged in full against its own
+// edge.
+func (o *Outbox) Broadcast(targets []int, m WireMessage) {
+	if o.err != nil || len(targets) == 0 {
+		return
+	}
+	start, bits, k, ok := o.encode(m)
+	if !ok {
+		return
+	}
+	view := o.arena.view(start, bits)
+	for _, to := range targets {
+		o.stageTo(to, k, bits, view)
+	}
 }
 
 // Env is the read-only per-node view of the network that the engine passes
@@ -72,21 +298,24 @@ type Env struct {
 	N         int
 	Neighbors []int // ascending; must not be modified
 	Round     int   // current round, starting at 1
+
+	rd Reader // per-vertex decode scratch used by Inbound.Decode
 }
 
 // Node is a per-node program.
 //
-// Send returns the messages the node transmits this round. Receive delivers
-// the messages sent to the node this round; the inbox slice is owned by the
-// engine and must not be retained after the call returns. Done reports
-// whether the node has fixed its output and has nothing further to send;
-// once every node is Done at a round boundary the run stops.
+// Send emits the messages the node transmits this round through out.Put.
+// Receive delivers the messages sent to the node this round; the inbox
+// slice is owned by the engine and must not be retained after the call
+// returns. Done reports whether the node has fixed its output and has
+// nothing further to send; once every node is Done at a round boundary the
+// run stops.
 //
 // Programs at distinct vertices may run concurrently (see the package
 // comment), so a program must only touch its own per-vertex state and data
 // that stays read-only for the whole run.
 type Node interface {
-	Send(env *Env) []Outbound
+	Send(env *Env, out *Outbox)
 	Receive(env *Env, inbox []Inbound)
 	Done() bool
 }
@@ -98,7 +327,8 @@ type StateSizer interface {
 	StateBits() int
 }
 
-// Metrics aggregates the cost of a run.
+// Metrics aggregates the cost of a run. All bit counts are encoded wire
+// lengths (kind tags included), never declared values.
 //
 // During a parallel run every worker accumulates a private Metrics shard;
 // the shards are merged at each round barrier (counters add, maxima take
@@ -107,8 +337,8 @@ type StateSizer interface {
 type Metrics struct {
 	Rounds        int // executed rounds
 	Messages      int // total messages delivered
-	Bits          int // total bits delivered
-	MaxEdgeBits   int // max bits over a directed edge in a single round
+	Bits          int // total encoded bits delivered
+	MaxEdgeBits   int // max encoded bits over a directed edge in one round
 	MaxStateBits  int // max per-node state bits observed (StateSizer nodes)
 	MaxInboxSize  int // max messages delivered to one node in one round
 	DroppedRounds int // rounds in which nothing was sent (idle rounds)
@@ -131,6 +361,17 @@ func (m *Metrics) Add(other Metrics) {
 	m.DroppedRounds += other.DroppedRounds
 }
 
+// Observer receives every delivered message at the round barrier, in
+// canonical order, together with a view of its encoded bits. The view is
+// only valid for the duration of the callback.
+//
+// At the start of every run (Run or RunReference) the engine additionally
+// invokes the observer once with round = 0, from = to = -1 and an empty
+// view — an explicit run boundary, so observers shared across a composed
+// algorithm's phases (each phase restarts its round numbering at 1) can
+// separate the phases without guessing from round regressions.
+type Observer func(round, from, to, bits int, wire WireView)
+
 // Network couples a graph with one program per node and runs them in
 // synchronized rounds.
 type Network struct {
@@ -138,25 +379,18 @@ type Network struct {
 	nodes     []Node
 	bandwidth int
 	workers   int // configured worker count; <= 0 selects the automatic rule
+	strict    bool
 	metrics   Metrics
-	observer  func(round, from, to, bits int)
+	observer  Observer
 }
 
 // DefaultBandwidth returns the bandwidth used when none is configured:
-// 4*ceil(log2 n) + 8 bits, enough for a constant number of vertex ids or
-// round counters per message, i.e. the paper's bw = O(log n). The additive
-// constant keeps two-counter messages legal on very small networks.
+// 4*ceil(log2 n) + 16 bits, enough for a constant number of vertex ids or
+// round counters plus their kind tags per message, i.e. the paper's
+// bw = O(log n). The additive constant keeps two-counter messages legal on
+// very small networks.
 func DefaultBandwidth(n int) int {
-	return 4*BitsForID(n) + 8
-}
-
-// BitsForID returns the number of bits needed to name one of n values (at
-// least 1).
-func BitsForID(n int) int {
-	if n <= 1 {
-		return 1
-	}
-	return bits.Len(uint(n - 1))
+	return 4*BitsForID(n) + 16
 }
 
 // Option configures a Network.
@@ -177,13 +411,22 @@ func WithWorkers(k int) Option {
 	return func(nw *Network) { nw.workers = k }
 }
 
+// WithStrictAccounting makes the engine cross-check, for every message
+// whose type implements BitsDeclarer, the declared size formula against the
+// actual encoded length, failing the run on any mismatch. Accounting always
+// uses the encoded length; this option certifies that the documented
+// formulas (DESIGN.md's encoding tables) match the wire.
+func WithStrictAccounting() Option {
+	return func(nw *Network) { nw.strict = true }
+}
+
 // WithObserver installs a callback invoked for every delivered message;
-// used by the lower-bound experiments to tally the traffic crossing a
-// vertex-partition cut (Theorem 10's simulation argument). The callback is
-// always invoked on the caller's goroutine at the round barrier, in
-// canonical order (ascending sender id, then the sender's emission order),
-// regardless of the worker count.
-func WithObserver(fn func(round, from, to, bits int)) Option {
+// used by the lower-bound experiments to capture the encoded traffic
+// crossing a vertex-partition cut (Theorem 10's simulation argument). The
+// callback is always invoked on the caller's goroutine at the round
+// barrier, in canonical order (ascending sender id, then the sender's
+// emission order), regardless of the worker count.
+func WithObserver(fn Observer) Option {
 	return func(nw *Network) { nw.observer = fn }
 }
 
@@ -254,23 +497,18 @@ const (
 )
 
 // workerState is one worker's private slice of the engine state. Round
-// totals are merged into Network.metrics at the barrier; scratch buffers
-// persist across rounds so steady-state rounds allocate nothing.
+// totals are merged into Network.metrics at the barrier; the Outbox arena
+// and all scratch buffers persist across rounds, so steady-state rounds
+// allocate nothing.
 type workerState struct {
-	// Per-round accumulators, reset at the start of every send half.
-	messages     int
-	bits         int
-	maxEdgeBits  int
+	outbox *Outbox
+
+	// Receive-half accumulators.
 	maxStateBits int
 	maxInboxSize int
 	shardDone    bool
-	err          error
-	errSender    int
 
-	// Scratch reused across rounds.
-	edge        []int // bits sent per receiver by the current sender
-	edgeTouched []int // receivers with edge[to] != 0
-	heads       []int // merge cursors, one per worker
+	heads []int // merge cursors, one per worker
 }
 
 // engine holds the per-run execution state of Run.
@@ -281,10 +519,9 @@ type engine struct {
 	empty bool // the current round's send half produced no messages
 
 	envs    []Env
-	bufs    [][][]Inbound // bufs[w][v]: messages for v produced by worker w
-	touched [][]int       // receivers worker w buffered to this round
+	bufs    [][][]Inbound // bufs[w][v]: worker w's Outbox delivery buffers
 	inboxes [][]Inbound   // reusable merged inbox per receiver
-	outs    [][]Outbound  // per-sender emissions, kept only for the observer
+	outs    [][]stagedMsg // per-sender emissions, kept only for the observer
 	ws      []workerState
 
 	phase []chan int // per-worker phase mailbox (k > 1 only)
@@ -298,19 +535,18 @@ func newEngine(nw *Network) *engine {
 	for v := 0; v < n; v++ {
 		// Neighbors also sorts the adjacency lists up front, so the graph
 		// stays read-only once workers start.
-		e.envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v)}
+		e.envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v), rd: Reader{N: n}}
 	}
 	e.inboxes = make([][]Inbound, n)
 	e.bufs = make([][][]Inbound, e.k)
-	e.touched = make([][]int, e.k)
 	e.ws = make([]workerState, e.k)
 	for w := 0; w < e.k; w++ {
-		e.bufs[w] = make([][]Inbound, n)
-		e.ws[w].edge = make([]int, n)
+		e.ws[w].outbox = newOutbox(nw, n)
+		e.bufs[w] = e.ws[w].outbox.buf
 		e.ws[w].heads = make([]int, e.k)
 	}
 	if nw.observer != nil {
-		e.outs = make([][]Outbound, n)
+		e.outs = make([][]stagedMsg, n)
 	}
 	if e.k > 1 {
 		e.phase = make([]chan int, e.k)
@@ -360,86 +596,29 @@ func (e *engine) stop() {
 }
 
 // sendShard runs the Send half for every vertex of worker w (v ≡ w mod k).
-// All writes go to worker-private state: the worker's receive buffers, its
-// edge ledger and its metrics shard. Validation stops at the shard's first
-// offending message; since an offense depends only on its own sender's
-// emissions, the shard-first error at the smallest sender id is exactly the
-// error a serial execution reports.
+// All writes go to worker-private state: the worker's receive buffers and
+// its Outbox (arena, ledger, metrics shard). Validation stops at the
+// shard's first offending message; since an offense depends only on its own
+// sender's emissions, the shard-first error at the smallest sender id is
+// exactly the error a serial execution reports.
 func (e *engine) sendShard(w int) {
 	nw := e.nw
-	st := &e.ws[w]
-	st.err = nil
-	st.errSender = -1
+	ob := e.ws[w].outbox
 
-	// Recycle the previous round's buffers (the barrier guarantees every
-	// reader is done with them).
-	buf := e.bufs[w]
-	for _, to := range e.touched[w] {
-		buf[to] = buf[to][:0]
-	}
-	e.touched[w] = e.touched[w][:0]
-
-	var messages, bitsTotal, maxEdge int
-	round := e.round
-	edge := st.edge
-	// Zero the ledger entries left by the previous round's last sender.
-	for _, to := range st.edgeTouched {
-		edge[to] = 0
-	}
-	edgeTouched := st.edgeTouched[:0]
+	// beginRound recycles the previous round's delivery buffers (the
+	// barrier guarantees every reader is done with them) and the arena.
+	ob.beginRound(e.round)
 	for v := w; v < e.n; v += e.k {
-		e.envs[v].Round = round
-		outs := nw.nodes[v].Send(&e.envs[v])
+		e.envs[v].Round = e.round
+		ob.begin(v)
+		nw.nodes[v].Send(&e.envs[v], ob)
 		if e.outs != nil {
-			e.outs[v] = outs
+			e.outs[v] = append(e.outs[v][:0], ob.msgs...)
 		}
-		if len(outs) == 0 {
-			continue
-		}
-		// Reset the ledger for this sender only: edges are directed, so no
-		// other sender contributes to (v, to) totals.
-		for _, to := range edgeTouched {
-			edge[to] = 0
-		}
-		edgeTouched = edgeTouched[:0]
-		for _, out := range outs {
-			if !nw.g.HasEdge(v, out.To) {
-				st.err = fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", round, v, out.To)
-				st.errSender = v
-				break
-			}
-			if out.Bits <= 0 {
-				st.err = fmt.Errorf("congest: round %d: node %d sent message with non-positive size", round, v)
-				st.errSender = v
-				break
-			}
-			if edge[out.To] == 0 {
-				edgeTouched = append(edgeTouched, out.To)
-			}
-			edge[out.To] += out.Bits
-			if eb := edge[out.To]; eb > nw.bandwidth {
-				st.err = fmt.Errorf("congest: round %d: edge %d->%d exceeds bandwidth (%d > %d bits)",
-					round, v, out.To, eb, nw.bandwidth)
-				st.errSender = v
-				break
-			} else if eb > maxEdge {
-				maxEdge = eb
-			}
-			if len(buf[out.To]) == 0 {
-				e.touched[w] = append(e.touched[w], out.To)
-			}
-			buf[out.To] = append(buf[out.To], Inbound{From: v, Payload: out.Payload, Bits: out.Bits})
-			messages++
-			bitsTotal += out.Bits
-		}
-		if st.err != nil {
+		if ob.err != nil {
 			break
 		}
 	}
-	st.edgeTouched = edgeTouched
-	st.messages = messages
-	st.bits = bitsTotal
-	st.maxEdgeBits = maxEdge
 }
 
 // finishSend merges the send half at the round barrier: it picks the
@@ -450,18 +629,18 @@ func (e *engine) finishSend() error {
 	errW := -1
 	var sent, bitsTotal, maxEdge int
 	for w := range e.ws {
-		st := &e.ws[w]
-		if st.err != nil && (errW < 0 || st.errSender < e.ws[errW].errSender) {
+		ob := e.ws[w].outbox
+		if ob.err != nil && (errW < 0 || ob.errSender < e.ws[errW].outbox.errSender) {
 			errW = w
 		}
-		sent += st.messages
-		bitsTotal += st.bits
-		if st.maxEdgeBits > maxEdge {
-			maxEdge = st.maxEdgeBits
+		sent += ob.messages
+		bitsTotal += ob.bitsTotal
+		if ob.maxEdge > maxEdge {
+			maxEdge = ob.maxEdge
 		}
 	}
 	if errW >= 0 {
-		return e.ws[errW].err
+		return e.ws[errW].outbox.err
 	}
 	m := &e.nw.metrics
 	m.Messages += sent
@@ -475,8 +654,9 @@ func (e *engine) finishSend() error {
 	}
 	if obs := e.nw.observer; obs != nil {
 		for v := 0; v < e.n; v++ {
-			for _, out := range e.outs[v] {
-				obs(e.round, v, out.To, out.Bits)
+			for i := range e.outs[v] {
+				r := &e.outs[v][i]
+				obs(e.round, v, r.to, r.bits, r.wire)
 			}
 		}
 	}
@@ -582,6 +762,9 @@ func (nw *Network) Run(maxRounds int) error {
 	e := newEngine(nw)
 	defer e.stop()
 
+	if nw.observer != nil {
+		nw.observer(0, -1, -1, 0, WireView{}) // run boundary
+	}
 	allDone := true
 	for _, nd := range nw.nodes {
 		if !nd.Done() {
@@ -610,19 +793,29 @@ func (nw *Network) Run(maxRounds int) error {
 
 // RunReference is the original single-threaded engine, retained as the
 // behavioral baseline: the determinism tests assert that Run matches it bit
-// for bit on valid runs, and the engine benchmark (BENCH_engine.json)
-// measures Run's speedup against it. The one divergence is the error path:
-// RunReference folds the failing round's partial traffic into Metrics while
-// Run does not (both report the same error and count the failing round in
-// Metrics.Rounds). New code should call Run.
+// for bit, and the engine benchmarks (BENCH_engine.json, BENCH_wire.json)
+// measure Run's speedup against it. It shares the Outbox encoder with Run,
+// so message encodings, derived bit accounting and validation errors are
+// identical by construction; only the execution strategy differs (one
+// vertex at a time, allocation per round). New code should call Run.
 func (nw *Network) RunReference(maxRounds int) error {
 	n := nw.g.N()
 	envs := make([]Env, n)
 	for v := 0; v < n; v++ {
-		envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v)}
+		envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v), rd: Reader{N: n}}
 	}
-	inboxes := make([][]Inbound, n)
-	edgeBits := make(map[[2]int]int)
+	ob := newOutbox(nw, n)
+	// Observer replay buffer: emissions of the whole round, replayed at
+	// the round barrier exactly like Run does (in particular, a failing
+	// round is never observed on either engine).
+	type obsEvent struct {
+		from int
+		m    stagedMsg
+	}
+	var pending []obsEvent
+	if nw.observer != nil {
+		nw.observer(0, -1, -1, 0, WireView{}) // run boundary
+	}
 
 	for round := 1; ; round++ {
 		allDone := true
@@ -640,53 +833,44 @@ func (nw *Network) RunReference(maxRounds int) error {
 		}
 		nw.metrics.Rounds = round
 
-		// Send half.
-		clear(edgeBits)
-		next := make([][]Inbound, n)
-		sent := 0
+		// Send half. Iterating senders in ascending order makes every
+		// delivery buffer canonically ordered by construction.
+		ob.beginRound(round)
+		pending = pending[:0]
 		for v, nd := range nw.nodes {
 			envs[v].Round = round
-			for _, out := range nd.Send(&envs[v]) {
-				if !nw.g.HasEdge(v, out.To) {
-					return fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", round, v, out.To)
+			ob.begin(v)
+			nd.Send(&envs[v], ob)
+			if ob.err != nil {
+				return ob.err
+			}
+			if nw.observer != nil {
+				for i := range ob.msgs {
+					pending = append(pending, obsEvent{from: v, m: ob.msgs[i]})
 				}
-				if out.Bits <= 0 {
-					return fmt.Errorf("congest: round %d: node %d sent message with non-positive size", round, v)
-				}
-				key := [2]int{v, out.To}
-				edgeBits[key] += out.Bits
-				if edgeBits[key] > nw.bandwidth {
-					return fmt.Errorf("congest: round %d: edge %d->%d exceeds bandwidth (%d > %d bits)",
-						round, v, out.To, edgeBits[key], nw.bandwidth)
-				}
-				if edgeBits[key] > nw.metrics.MaxEdgeBits {
-					nw.metrics.MaxEdgeBits = edgeBits[key]
-				}
-				next[out.To] = append(next[out.To], Inbound{From: v, Payload: out.Payload, Bits: out.Bits})
-				nw.metrics.Messages++
-				nw.metrics.Bits += out.Bits
-				if nw.observer != nil {
-					nw.observer(round, v, out.To, out.Bits)
-				}
-				sent++
 			}
 		}
-		if sent == 0 {
+		for i := range pending {
+			e := &pending[i]
+			nw.observer(round, e.from, e.m.to, e.m.bits, e.m.wire)
+		}
+		nw.metrics.Messages += ob.messages
+		nw.metrics.Bits += ob.bitsTotal
+		if ob.maxEdge > nw.metrics.MaxEdgeBits {
+			nw.metrics.MaxEdgeBits = ob.maxEdge
+		}
+		if ob.messages == 0 {
 			nw.metrics.DroppedRounds++
 		}
 
-		// Receive half: deterministic delivery order (by sender id; the
-		// stable sort keeps a sender's messages in emission order, matching
-		// Run's canonical order even for multi-message edges).
-		for v := range next {
-			sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
-			if len(next[v]) > nw.metrics.MaxInboxSize {
-				nw.metrics.MaxInboxSize = len(next[v])
+		// Receive half.
+		for _, to := range ob.touched {
+			if len(ob.buf[to]) > nw.metrics.MaxInboxSize {
+				nw.metrics.MaxInboxSize = len(ob.buf[to])
 			}
 		}
-		inboxes = next
 		for v, nd := range nw.nodes {
-			nd.Receive(&envs[v], inboxes[v])
+			nd.Receive(&envs[v], ob.buf[v])
 			if s, ok := nd.(StateSizer); ok {
 				if b := s.StateBits(); b > nw.metrics.MaxStateBits {
 					nw.metrics.MaxStateBits = b

@@ -7,11 +7,15 @@ import (
 )
 
 func TestDefaultBandwidth(t *testing.T) {
-	if bw := DefaultBandwidth(1024); bw != 48 {
-		t.Errorf("DefaultBandwidth(1024) = %d, want 48", bw)
+	if bw := DefaultBandwidth(1024); bw != 56 {
+		t.Errorf("DefaultBandwidth(1024) = %d, want 56", bw)
 	}
-	if BitsForID(1) != 1 || BitsForID(2) != 1 || BitsForID(3) != 2 || BitsForID(1024) != 10 {
-		t.Error("BitsForID wrong")
+	// Room for a two-field message plus its kind tag even on tiny networks.
+	for n := 1; n <= 8; n++ {
+		m := msgWave{Tau: 0, Delta: 0}
+		if got, bw := m.DeclaredBits(n), DefaultBandwidth(n); got > bw {
+			t.Errorf("n=%d: wave message %d bits exceeds default bandwidth %d", n, got, bw)
+		}
 	}
 }
 
@@ -24,14 +28,18 @@ func TestNetworkRejectsDisconnected(t *testing.T) {
 }
 
 // a node that sends to a non-neighbor, to exercise engine validation.
-type rogueNode struct{ sent bool }
+type rogueNode struct {
+	sent bool
+	tx   RawMessage
+}
 
-func (r *rogueNode) Send(env *Env) []Outbound {
+func (r *rogueNode) Send(env *Env, out *Outbox) {
 	if r.sent {
-		return nil
+		return
 	}
 	r.sent = true
-	return []Outbound{{To: (env.ID + 2) % env.N, Payload: 1, Bits: 1}}
+	r.tx.Width = 1
+	out.Put((env.ID+2)%env.N, &r.tx)
 }
 func (r *rogueNode) Receive(env *Env, inbox []Inbound) {}
 func (r *rogueNode) Done() bool                        { return r.sent }
@@ -47,18 +55,23 @@ func TestEngineRejectsNonNeighborSend(t *testing.T) {
 	}
 }
 
-// a node that floods oversized messages.
-type hogNode struct{ sent bool }
+// a node that floods an oversized message — a real encoded megabit, not a
+// declared size, so the violation the engine reports is measured.
+type hogNode struct {
+	sent bool
+	tx   RawMessage
+}
 
-func (h *hogNode) Send(env *Env) []Outbound {
+func (h *hogNode) Send(env *Env, out *Outbox) {
 	if h.sent {
-		return nil
+		return
 	}
 	h.sent = true
 	if env.ID != 0 {
-		return nil
+		return
 	}
-	return []Outbound{{To: env.Neighbors[0], Payload: 0, Bits: 1 << 20}}
+	h.tx.Width = 1 << 20
+	out.Put(env.Neighbors[0], &h.tx)
 }
 func (h *hogNode) Receive(env *Env, inbox []Inbound) {}
 func (h *hogNode) Done() bool                        { return h.sent }
@@ -96,7 +109,7 @@ func TestEngineTimesOut(t *testing.T) {
 
 type neverDone struct{}
 
-func (neverDone) Send(env *Env) []Outbound          { return nil }
+func (neverDone) Send(env *Env, out *Outbox)        {}
 func (neverDone) Receive(env *Env, inbox []Inbound) {}
 func (neverDone) Done() bool                        { return false }
 

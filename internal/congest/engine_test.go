@@ -129,22 +129,24 @@ func TestEngineDeterministicClassicalApprox(t *testing.T) {
 
 // Validation errors must name the same round and edge for every worker
 // count: the canonical error is the one at the smallest offending sender.
-type duelingHogNode struct{ threshold int }
+type duelingHogNode struct {
+	threshold int
+	tx        RawMessage
+}
 
-func (h *duelingHogNode) Send(env *Env) []Outbound {
+func (h *duelingHogNode) Send(env *Env, out *Outbox) {
 	// From the threshold round on, every node floods oversized messages; the
 	// canonical report is always for the smallest sender id.
 	if env.Round < h.threshold {
 		if len(env.Neighbors) == 0 {
-			return nil
+			return
 		}
-		return []Outbound{{To: env.Neighbors[0], Payload: 0, Bits: 1}}
+		h.tx.Width = 1
+		out.Put(env.Neighbors[0], &h.tx)
+		return
 	}
-	out := make([]Outbound, 0, len(env.Neighbors))
-	for _, nb := range env.Neighbors {
-		out = append(out, Outbound{To: nb, Payload: 0, Bits: 1 << 20})
-	}
-	return out
+	h.tx.Width = 1 << 20
+	out.Broadcast(env.Neighbors, &h.tx)
 }
 func (h *duelingHogNode) Receive(env *Env, inbox []Inbound) {}
 func (h *duelingHogNode) Done() bool                        { return false }
@@ -185,8 +187,20 @@ func TestEngineObserverOrderDeterministic(t *testing.T) {
 	trace := func(k int, run func(*Network, int) error) []string {
 		t.Helper()
 		var events []string
-		obs := func(round, from, to, bits int) {
-			events = append(events, fmt.Sprintf("%d:%d->%d:%d", round, from, to, bits))
+		obs := func(round, from, to, bits int, wire WireView) {
+			if wire.Len() != bits {
+				t.Errorf("observer: wire view %d bits, reported %d", wire.Len(), bits)
+			}
+			// Render the encoded message so the trace compares actual bits.
+			var enc []byte
+			for i := 0; i < wire.Len(); i++ {
+				if wire.Bit(i) {
+					enc = append(enc, '1')
+				} else {
+					enc = append(enc, '0')
+				}
+			}
+			events = append(events, fmt.Sprintf("%d:%d->%d:%d:%s", round, from, to, bits, enc))
 		}
 		nw, err := NewNetwork(g, func(v int) Node { return NewLeaderElectNode() }, WithWorkers(k), WithObserver(obs))
 		if err != nil {

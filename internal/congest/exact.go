@@ -23,7 +23,8 @@ type ExactResult struct {
 // leader.
 //
 // Total round complexity: Theta(n) + O(D), the classical baseline of
-// Table 1 row "Exact computation".
+// Table 1 row "Exact computation". All traffic is typed wire messages, so
+// the Metrics bit counts returned here are encoded lengths, not estimates.
 func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error) {
 	var res ExactResult
 	n := g.N()

@@ -22,7 +22,8 @@ type PreInfo struct {
 
 // Preprocess runs leader election, the Figure 1 BFS construction with
 // eccentricity convergecast, and a broadcast of d = ecc(leader). It returns
-// the gathered information and the total metrics (O(D) rounds).
+// the gathered information and the total metrics (O(D) rounds; all bit
+// counts are encoded wire lengths of the phases' typed messages).
 func Preprocess(g *graph.Graph, opts ...Option) (*PreInfo, Metrics, error) {
 	var total Metrics
 	n := g.N()

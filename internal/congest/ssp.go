@@ -7,17 +7,25 @@ import "sort"
 // convergecast sums for distributed counting, pipelined multi-source
 // shortest paths from the set R, and the pipelined per-source maximum
 // convergecast that turns those distances into eccentricities.
+//
+// Message sizes are not declared anywhere in this file: every cost below is
+// the encoded wire length of the typed messages (the pre-wire-format code
+// carried hand-written constants like 2*BitsForID(2*env.N) here, which the
+// engine trusted blindly).
 
 type (
-	// msgNear carries (distance to nearest member, member id).
+	// msgNear carries (distance to nearest member, member id). Distances
+	// travel pre-incremented, so the field covers [0, 2n).
 	msgNear struct {
 		Dist int
 		Src  int
 	}
-	// msgSum carries a partial sum up the tree.
+	// msgSum carries a partial sum up the tree. The field is 2*BitsForID(n)
+	// bits: wide enough for the counting convergecasts used here (sums of
+	// n indicator values) and for sums up to ~n^2 in general.
 	msgSum struct{ Sum int }
 	// msgPair is one (source rank, distance) pair of the pipelined
-	// multi-source BFS.
+	// multi-source BFS; ranks are < n, distances pre-incremented < 2n.
 	msgPair struct {
 		Src  int
 		Dist int
@@ -28,6 +36,51 @@ type (
 		Max int
 	}
 )
+
+func (m *msgNear) WireKind() Kind { return KindNear }
+func (m *msgNear) MarshalWire(w *Writer) {
+	w.WriteID(m.Dist, 2*w.N)
+	w.WriteID(m.Src, w.N)
+}
+func (m *msgNear) UnmarshalWire(r *Reader) {
+	m.Dist = r.ReadID(2 * r.N)
+	m.Src = r.ReadID(r.N)
+}
+func (m *msgNear) DeclaredBits(n int) int { return KindBits + BitsForID(2*n) + BitsForID(n) }
+
+func (m *msgSum) WireKind() Kind          { return KindSum }
+func (m *msgSum) MarshalWire(w *Writer)   { w.WriteCount(m.Sum, 2*BitsForID(w.N)) }
+func (m *msgSum) UnmarshalWire(r *Reader) { m.Sum = int(r.ReadUint(2 * BitsForID(r.N))) }
+func (m *msgSum) DeclaredBits(n int) int  { return KindBits + 2*BitsForID(n) }
+
+func (m *msgPair) WireKind() Kind { return KindPair }
+func (m *msgPair) MarshalWire(w *Writer) {
+	w.WriteID(m.Src, w.N)
+	w.WriteID(m.Dist, 2*w.N)
+}
+func (m *msgPair) UnmarshalWire(r *Reader) {
+	m.Src = r.ReadID(r.N)
+	m.Dist = r.ReadID(2 * r.N)
+}
+func (m *msgPair) DeclaredBits(n int) int { return KindBits + BitsForID(n) + BitsForID(2*n) }
+
+func (m *msgSrcMax) WireKind() Kind { return KindSrcMax }
+func (m *msgSrcMax) MarshalWire(w *Writer) {
+	w.WriteID(m.Src, w.N)
+	w.WriteID(m.Max, 2*w.N)
+}
+func (m *msgSrcMax) UnmarshalWire(r *Reader) {
+	m.Src = r.ReadID(r.N)
+	m.Max = r.ReadID(2 * r.N)
+}
+func (m *msgSrcMax) DeclaredBits(n int) int { return KindBits + BitsForID(n) + BitsForID(2*n) }
+
+func init() {
+	RegisterKind(KindNear, "near", func() WireMessage { return new(msgNear) })
+	RegisterKind(KindSum, "sum", func() WireMessage { return new(msgSum) })
+	RegisterKind(KindPair, "pair", func() WireMessage { return new(msgPair) })
+	RegisterKind(KindSrcMax, "src-max", func() WireMessage { return new(msgSrcMax) })
+}
 
 // MinFloodNode computes, at every node, the distance to the nearest member
 // of a vertex set and the id of that member (the p(v) of Figure 3 Step 2).
@@ -43,6 +96,8 @@ type MinFloodNode struct {
 
 	pending bool
 	started bool
+
+	tx, rx msgNear
 }
 
 // NewMinFloodNode builds the program for one node.
@@ -51,7 +106,7 @@ func NewMinFloodNode(member bool) *MinFloodNode {
 }
 
 // Send implements Node.
-func (m *MinFloodNode) Send(env *Env) []Outbound {
+func (m *MinFloodNode) Send(env *Env, out *Outbox) {
 	if !m.started {
 		m.started = true
 		if m.Member {
@@ -60,24 +115,21 @@ func (m *MinFloodNode) Send(env *Env) []Outbound {
 		}
 	}
 	if !m.pending {
-		return nil
+		return
 	}
 	m.pending = false
-	bits := 2 * BitsForID(env.N)
-	out := make([]Outbound, 0, len(env.Neighbors))
-	for _, nb := range env.Neighbors {
-		out = append(out, Outbound{To: nb, Payload: msgNear{Dist: m.Dist + 1, Src: m.Src}, Bits: bits})
-	}
-	return out
+	m.tx = msgNear{Dist: m.Dist + 1, Src: m.Src}
+	out.Broadcast(env.Neighbors, &m.tx)
 }
 
 // Receive implements Node.
 func (m *MinFloodNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		p, ok := in.Payload.(msgNear)
-		if !ok {
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindNear || in.Decode(env, &m.rx) != nil {
 			continue
 		}
+		p := m.rx
 		if m.Dist == -1 || p.Dist < m.Dist || (p.Dist == m.Dist && p.Src < m.Src) {
 			m.Dist, m.Src = p.Dist, p.Src
 			m.pending = true
@@ -103,6 +155,8 @@ type ConvergecastSumNode struct {
 
 	received int
 	sent     bool
+
+	tx, rx msgSum
 }
 
 // NewConvergecastSumNode builds the program for one node.
@@ -111,24 +165,27 @@ func NewConvergecastSumNode(parent int, children []int, value int) *Convergecast
 }
 
 // Send implements Node.
-func (c *ConvergecastSumNode) Send(env *Env) []Outbound {
+func (c *ConvergecastSumNode) Send(env *Env, out *Outbox) {
 	if c.sent || c.received < len(c.Children) {
-		return nil
+		return
 	}
 	c.sent = true
 	if c.Parent < 0 {
-		return nil
+		return
 	}
-	return []Outbound{{To: c.Parent, Payload: msgSum{Sum: c.Sum}, Bits: 2 * BitsForID(env.N)}}
+	c.tx.Sum = c.Sum
+	out.Put(c.Parent, &c.tx)
 }
 
 // Receive implements Node.
 func (c *ConvergecastSumNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		if p, ok := in.Payload.(msgSum); ok {
-			c.received++
-			c.Sum += p.Sum
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindSum || in.Decode(env, &c.rx) != nil {
+			continue
 		}
+		c.received++
+		c.Sum += c.rx.Sum
 	}
 }
 
@@ -154,6 +211,8 @@ type SSPNode struct {
 
 	queue    []msgPair // pending pairs, kept sorted by (Dist, Src)
 	finished bool
+
+	tx, rx msgPair
 }
 
 // NewSSPNode builds the program for one node; rank is -1 for non-sources.
@@ -167,28 +226,25 @@ func NewSSPNode(rank, sources, duration int) *SSPNode {
 }
 
 // Send implements Node.
-func (s *SSPNode) Send(env *Env) []Outbound {
+func (s *SSPNode) Send(env *Env, out *Outbox) {
 	if len(s.queue) == 0 {
-		return nil
+		return
 	}
 	p := s.queue[0]
 	s.queue = s.queue[1:]
-	bits := 2 * BitsForID(2*env.N)
-	out := make([]Outbound, 0, len(env.Neighbors))
-	for _, nb := range env.Neighbors {
-		out = append(out, Outbound{To: nb, Payload: msgPair{Src: p.Src, Dist: p.Dist + 1}, Bits: bits})
-	}
-	return out
+	s.tx = msgPair{Src: p.Src, Dist: p.Dist + 1}
+	out.Broadcast(env.Neighbors, &s.tx)
 }
 
 // Receive implements Node.
 func (s *SSPNode) Receive(env *Env, inbox []Inbound) {
 	updated := false
-	for _, in := range inbox {
-		p, ok := in.Payload.(msgPair)
-		if !ok {
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindPair || in.Decode(env, &s.rx) != nil {
 			continue
 		}
+		p := s.rx
 		if d, seen := s.Dist[p.Src]; !seen || p.Dist < d {
 			s.Dist[p.Src] = p.Dist
 			s.enqueue(p)
@@ -239,6 +295,8 @@ type SourceMaxNode struct {
 	Max map[int]int // per-source subtree max (output at root)
 
 	finished bool
+
+	tx, rx msgSrcMax
 }
 
 // NewSourceMaxNode builds the program for one node.
@@ -259,29 +317,28 @@ func NewSourceMaxNode(parent int, children []int, depth, d, sources int, dist ma
 }
 
 // Send implements Node.
-func (s *SourceMaxNode) Send(env *Env) []Outbound {
+func (s *SourceMaxNode) Send(env *Env, out *Outbox) {
 	if s.Parent < 0 {
-		return nil
+		return
 	}
 	// Relative round r transmits source i = r - (D - depth) - 1.
 	i := env.Round - (s.D - s.Depth) - 1
 	if i < 0 || i >= s.Sources {
-		return nil
+		return
 	}
-	return []Outbound{{
-		To:      s.Parent,
-		Payload: msgSrcMax{Src: i, Max: s.Max[i]},
-		Bits:    2 * BitsForID(2*env.N),
-	}}
+	s.tx = msgSrcMax{Src: i, Max: s.Max[i]}
+	out.Put(s.Parent, &s.tx)
 }
 
 // Receive implements Node.
 func (s *SourceMaxNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		if p, ok := in.Payload.(msgSrcMax); ok {
-			if p.Max > s.Max[p.Src] {
-				s.Max[p.Src] = p.Max
-			}
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindSrcMax || in.Decode(env, &s.rx) != nil {
+			continue
+		}
+		if s.rx.Max > s.Max[s.rx.Src] {
+			s.Max[s.rx.Src] = s.rx.Max
 		}
 	}
 	if env.Round >= s.D+s.Sources+1 {

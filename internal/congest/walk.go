@@ -15,8 +15,21 @@ package congest
 // graph.BFSTree.EulerTour, so the distributed walk reproduces the reference
 // tour exactly.
 
-// msgToken carries the walk's step counter (O(log n) bits).
+// msgToken carries the walk's step counter. Walks of the 3/2-approximation
+// run for up to 2(tStar + d) <= 4n - 4 steps, so the field width is
+// BitsForID(4n+1) — the pre-wire-format declared size BitsForID(2n+1)
+// undercounted exactly those walks, which the encoded accounting now makes
+// impossible.
 type msgToken struct{ Step int }
+
+func (m *msgToken) WireKind() Kind          { return KindToken }
+func (m *msgToken) MarshalWire(w *Writer)   { w.WriteID(m.Step, 4*w.N+1) }
+func (m *msgToken) UnmarshalWire(r *Reader) { m.Step = r.ReadID(4*r.N + 1) }
+func (m *msgToken) DeclaredBits(n int) int  { return KindBits + BitsForID(4*n+1) }
+
+func init() {
+	RegisterKind(KindToken, "token", func() WireMessage { return new(msgToken) })
+}
 
 // TokenWalkNode runs the walk at one node.
 type TokenWalkNode struct {
@@ -35,6 +48,8 @@ type TokenWalkNode struct {
 	from     int  // -1 if walk start or restart at root, else sender
 	rounds   int
 	finished bool
+
+	tx, rx msgToken
 }
 
 // NewTokenWalkNode builds the walk program for one node.
@@ -51,7 +66,7 @@ func NewTokenWalkNode(parent int, children []int, root, start, steps int) *Token
 }
 
 // Send implements Node.
-func (t *TokenWalkNode) Send(env *Env) []Outbound {
+func (t *TokenWalkNode) Send(env *Env, out *Outbox) {
 	if env.ID == t.Start && env.Round == 1 {
 		// The walk begins here: this counts as the first visit, step 0.
 		t.holding = true
@@ -60,7 +75,7 @@ func (t *TokenWalkNode) Send(env *Env) []Outbound {
 		t.Tau = 0
 	}
 	if !t.holding || t.arrived >= t.Steps {
-		return nil
+		return
 	}
 	next := t.nextHop(env)
 	t.holding = false
@@ -72,11 +87,12 @@ func (t *TokenWalkNode) Send(env *Env) []Outbound {
 		t.from = -1
 		if len(t.Children) == 0 {
 			// Degenerate single-vertex tree: walk cannot move.
-			return nil
+			return
 		}
 		next = t.Children[0]
 	}
-	return []Outbound{{To: next, Payload: msgToken{Step: t.arrived + 1}, Bits: BitsForID(2*env.N + 1)}}
+	t.tx.Step = t.arrived + 1
+	out.Put(next, &t.tx)
 }
 
 // nextHop applies the Euler-tour routing rule based on where the token
@@ -113,23 +129,23 @@ func (t *TokenWalkNode) nextHop(env *Env) int {
 
 // Receive implements Node.
 func (t *TokenWalkNode) Receive(env *Env, inbox []Inbound) {
-	for _, in := range inbox {
-		tok, ok := in.Payload.(msgToken)
-		if !ok {
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindToken || in.Decode(env, &t.rx) != nil {
 			continue
 		}
 		t.holding = true
-		t.arrived = tok.Step
+		t.arrived = t.rx.Step
 		t.from = in.From
 		if t.Tau == -1 {
 			if in.From == t.Parent {
 				// First top-down arrival: the DFS-numbering visit.
-				t.Tau = tok.Step
+				t.Tau = t.rx.Step
 			} else if t.Parent < 0 && len(t.Children) > 0 && in.From == t.Children[len(t.Children)-1] {
 				// The root's tau-visit is the tour completion (arrival
 				// from its last child), which is where the wrapped walk
 				// restarts: position 0 of the reference tour.
-				t.Tau = tok.Step
+				t.Tau = t.rx.Step
 			}
 		}
 	}

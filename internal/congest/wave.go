@@ -14,19 +14,35 @@ import "fmt"
 //
 // The implementation asserts the paper's Lemma 4 at runtime: if two
 // distinct messages survive the tv filter in the same round, the run fails.
-// Passing tests therefore certify the no-congestion claim, not just assume
-// it.
+// Passing tests therefore certify the no-congestion claim — over real
+// encoded bit counts — not just assume it.
 
 // msgWave is a wave message (tau', delta): "the wave started by the vertex
-// with tau'-number Tau has traveled Delta hops". Two counters, O(log n)
-// bits. The increment convention differs cosmetically from Figure 2: the
-// sender adds 1 when transmitting, so a received Delta always equals
-// d(initiator, receiver); Figure 2 has the receiver broadcast delta+1
-// instead. The invariants (first arrival carries the true distance, dv =
-// max distance over processed waves) are identical.
+// with tau'-number Tau has traveled Delta hops". Two counters of
+// BitsForID(4n+1) bits each (tau' ranges over walk windows of up to 4n-4
+// steps, delta over distances < n). The increment convention differs
+// cosmetically from Figure 2: the sender adds 1 when transmitting, so a
+// received Delta always equals d(initiator, receiver); Figure 2 has the
+// receiver broadcast delta+1 instead. The invariants (first arrival carries
+// the true distance, dv = max distance over processed waves) are identical.
 type msgWave struct {
 	Tau   int
 	Delta int
+}
+
+func (m *msgWave) WireKind() Kind { return KindWave }
+func (m *msgWave) MarshalWire(w *Writer) {
+	w.WriteID(m.Tau, 4*w.N+1)
+	w.WriteID(m.Delta, 4*w.N+1)
+}
+func (m *msgWave) UnmarshalWire(r *Reader) {
+	m.Tau = r.ReadID(4*r.N + 1)
+	m.Delta = r.ReadID(4*r.N + 1)
+}
+func (m *msgWave) DeclaredBits(n int) int { return KindBits + 2*BitsForID(4*n+1) }
+
+func init() {
+	RegisterKind(KindWave, "wave", func() WireMessage { return new(msgWave) })
 }
 
 // WaveNode runs the Figure 2 Step 2 process at one node.
@@ -47,6 +63,9 @@ type WaveNode struct {
 
 	pending  *msgWave // wave to broadcast next Send
 	finished bool
+
+	buffered msgWave // storage for pending
+	tx, rx   msgWave
 }
 
 // NewWaveNode builds the wave program for one node. tauPrime is ignored
@@ -56,7 +75,7 @@ func NewWaveNode(inS bool, tauPrime, duration int) *WaveNode {
 }
 
 // Send implements Node.
-func (w *WaveNode) Send(env *Env) []Outbound {
+func (w *WaveNode) Send(env *Env, out *Outbox) {
 	// Figure 2 Step 2(2): initiate own wave exactly at (relative) round
 	// 2*tau'(v). Rounds here are 1-based, so the wave with tau' = 0 starts
 	// in round 1: initiation round = 2*tau' + 1.
@@ -68,19 +87,15 @@ func (w *WaveNode) Send(env *Env) []Outbound {
 				env.ID, w.TV, w.TauPrime)
 		}
 		w.TV = w.TauPrime
-		w.pending = &msgWave{Tau: w.TauPrime, Delta: 0}
+		w.buffered = msgWave{Tau: w.TauPrime, Delta: 0}
+		w.pending = &w.buffered
 	}
 	if w.pending == nil {
-		return nil
+		return
 	}
-	m := *w.pending
+	w.tx = msgWave{Tau: w.pending.Tau, Delta: w.pending.Delta + 1}
 	w.pending = nil
-	bits := 2 * BitsForID(4*env.N+1)
-	out := make([]Outbound, 0, len(env.Neighbors))
-	for _, nb := range env.Neighbors {
-		out = append(out, Outbound{To: nb, Payload: msgWave{Tau: m.Tau, Delta: m.Delta + 1}, Bits: bits})
-	}
-	return out
+	out.Broadcast(env.Neighbors, &w.tx)
 }
 
 // Receive implements Node. It applies Figure 2 Step 2(3): disregard stale
@@ -88,17 +103,18 @@ func (w *WaveNode) Send(env *Env) []Outbound {
 // update tv and dv, and schedule the re-broadcast.
 func (w *WaveNode) Receive(env *Env, inbox []Inbound) {
 	var kept *msgWave
-	for _, in := range inbox {
-		m, ok := in.Payload.(msgWave)
-		if !ok {
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindWave || in.Decode(env, &w.rx) != nil {
 			continue
 		}
+		m := w.rx
 		if m.Tau <= w.TV {
 			continue // Step 3(a): stale wave
 		}
 		if kept == nil {
-			cp := m
-			kept = &cp
+			w.buffered = m
+			kept = &w.buffered
 			continue
 		}
 		if (kept.Tau != m.Tau || kept.Delta != m.Delta) && w.Violation == nil {

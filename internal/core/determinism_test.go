@@ -56,3 +56,30 @@ func TestQuantumApproxDeterministicAcrossWorkers(t *testing.T) {
 		t.Errorf("workers 8: Result %+v, want %+v", got, want)
 	}
 }
+
+// Every CONGEST execution a quantum algorithm drives — preprocessing,
+// walks, waves, convergecasts, the [HPRW14] preparation — runs clean under
+// strict wire accounting: the documented size formula of every message the
+// Evaluations emit matches its encoded length. Strict checking is also
+// engine-invariant: it must not perturb the results.
+func TestQuantumAlgorithmsUnderStrictAccounting(t *testing.T) {
+	g := graph.RandomConnected(64, 0.08, 5)
+	want, err := ExactDiameter(g, Options{Seed: 5, Engine: []congest.Option{congest.WithWorkers(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := []congest.Option{congest.WithStrictAccounting(), congest.WithWorkers(3)}
+	got, err := ExactDiameter(g, Options{Seed: 5, Engine: strict})
+	if err != nil {
+		t.Fatalf("exact diameter under strict accounting: %v", err)
+	}
+	if got != want {
+		t.Errorf("strict accounting changed the result: %+v, want %+v", got, want)
+	}
+	if _, err := ApproxDiameter(g, Options{Seed: 5, Engine: strict}); err != nil {
+		t.Fatalf("approx diameter under strict accounting: %v", err)
+	}
+	if _, err := ExactDiameterSimple(g, Options{Seed: 5, Engine: strict}); err != nil {
+		t.Fatalf("simple exact diameter under strict accounting: %v", err)
+	}
+}

@@ -15,8 +15,12 @@ type SimulationResult struct {
 	Disj int // the DISJ value decided from the diameter
 	// Rounds is the round complexity of the simulated CONGEST algorithm.
 	Rounds int
-	// CutBits is the total traffic that crossed the (Un, Vn) cut — the
-	// communication Alice and Bob must exchange to simulate the run.
+	// Transcript is the concatenation of the encoded wire messages that
+	// crossed the (Un, Vn) cut, in canonical delivery order — the actual
+	// bit string Alice and Bob exchange to simulate the run. Its length IS
+	// the communication cost; nothing here is a declared size.
+	Transcript *bitstring.Bits
+	// CutBits is Transcript.Len(): the total traffic that crossed the cut.
 	CutBits int
 	// Protocol is the induced two-party cost: 2 messages per round in
 	// which cut traffic occurred (one per direction), each of size at most
@@ -27,26 +31,43 @@ type SimulationResult struct {
 // TwoPartyFromCongest implements the simulation of Theorem 10: Alice
 // (holding the Un side and x) and Bob (holding the Vn side and y) jointly
 // run the classical exact-diameter algorithm on Gn(x, y), exchanging only
-// the traffic of the b cut edges. The decided DISJ value and the measured
-// two-party costs are returned. The run fails if the algorithm's diameter
-// output falls strictly between d1 and d2 (impossible for a correct
-// reduction).
+// the traffic of the b cut edges. The observer copies every encoded message
+// crossing the cut into the transcript bit-for-bit, so the decided DISJ
+// value comes with the real communication string, not an estimate. The run
+// fails if the algorithm's diameter output falls strictly between d1 and d2
+// (impossible for a correct reduction).
 func TwoPartyFromCongest(red *Reduction, x, y *bitstring.Bits, engine ...congest.Option) (SimulationResult, error) {
-	var res SimulationResult
+	res := SimulationResult{Transcript: bitstring.New(0)}
 	g, err := red.Build(x, y)
 	if err != nil {
 		return res, err
 	}
 	side := red.SideOf()
-	perRound := map[int][2]int{} // round -> bits crossing per direction
-	observer := func(round, from, to, bits int) {
+	// The simulated algorithm is a composition of phases, each with round
+	// numbering restarting at 1; the engine signals every phase start by
+	// invoking the observer with round 0, so keying by (epoch, round)
+	// keeps the per-round traffic of distinct phases apart.
+	type slot struct{ epoch, round int }
+	perRound := map[slot][2]int{} // bits crossing per direction
+	epoch := 0
+	observer := func(round, from, to, bits int, wire congest.WireView) {
+		if round == 0 {
+			epoch++ // run boundary marker, carries no traffic
+			return
+		}
 		if side[from] == side[to] {
 			return
 		}
-		e := perRound[round]
+		if wire.Len() != bits {
+			panic(fmt.Sprintf("reduction: observer bits %d != wire length %d", bits, wire.Len()))
+		}
+		for i := 0; i < bits; i++ {
+			res.Transcript.AppendBit(wire.Bit(i))
+		}
+		s := slot{epoch, round}
+		e := perRound[s]
 		e[side[from]] += bits
-		perRound[round] = e
-		res.CutBits += bits
+		perRound[s] = e
 	}
 	opts := append([]congest.Option{congest.WithObserver(observer)}, engine...)
 	out, err := congest.ClassicalExactDiameter(g, opts...)
@@ -54,6 +75,7 @@ func TwoPartyFromCongest(red *Reduction, x, y *bitstring.Bits, engine ...congest
 		return res, err
 	}
 	res.Rounds = out.Metrics.Rounds
+	res.CutBits = res.Transcript.Len()
 	switch {
 	case out.Diameter <= red.D1:
 		res.Disj = 1

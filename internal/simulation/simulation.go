@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 
+	"qcongest/internal/bitstring"
 	"qcongest/internal/comm"
 )
 
@@ -107,9 +108,16 @@ func (a *Algorithm) RunNative(x, y uint64) (State, error) {
 
 // SimulationResult reports a two-party simulation run.
 type SimulationResult struct {
-	State    State
-	Metrics  comm.Metrics
-	Handoffs int // number of register handoffs (== messages)
+	State   State
+	Metrics comm.Metrics
+	// Transcript is the concatenation of every register shipped across a
+	// handoff, encoded in exactly its declared width (Bandwidth qubits per
+	// message register, Memory per private register; one bit for a pure
+	// control message). Metrics.Qubits == Transcript.Len(): the accounting
+	// is the encoding, and a register whose value does not fit its
+	// declared width fails the run instead of being undercounted.
+	Transcript *bitstring.Bits
+	Handoffs   int // number of register handoffs (== messages)
 }
 
 // players
@@ -123,9 +131,22 @@ const (
 // when it executes. The returned state must equal RunNative's (tested, not
 // assumed).
 func (a *Algorithm) RunTwoParty(x, y uint64) (SimulationResult, error) {
-	var res SimulationResult
+	res := SimulationResult{Transcript: bitstring.New(0)}
 	if err := a.Validate(); err != nil {
 		return res, err
+	}
+	// appendReg encodes one shipped register into the transcript at its
+	// declared width; the width is verified against the value, never
+	// trusted.
+	appendReg := func(kind string, idx int, v uint64, width int) error {
+		if v>>uint(width) != 0 {
+			return fmt.Errorf("simulation: register %s_%d value %#x exceeds declared %d qubits",
+				kind, idx, v, width)
+		}
+		for i := 0; i < width; i++ {
+			res.Transcript.AppendBit(v&(1<<uint(i)) != 0)
+		}
+		return nil
 	}
 	st := State{R: make([]uint64, a.D+2), T: make([]uint64, a.D+1)}
 	st.R[0], st.R[a.D+1] = x, y
@@ -212,22 +233,29 @@ func (a *Algorithm) RunTwoParty(x, y uint64) (SimulationResult, error) {
 			stuckPhases = 0
 		}
 		// Handoff: ship every intermediate register the current player
-		// owns (all T_j plus R_1..R_d) to the other player.
-		qubits := 0
+		// owns (all T_j plus R_1..R_d) to the other player, encoding each
+		// into the transcript; the message cost is the bits encoded.
+		before := res.Transcript.Len()
 		for j := range ownT {
 			if ownT[j] == cur {
 				ownT[j] = 1 - cur
-				qubits += a.Bandwidth
+				if err := appendReg("T", j, st.T[j], a.Bandwidth); err != nil {
+					return res, err
+				}
 			}
 		}
 		for i := 1; i <= a.D; i++ {
 			if ownR[i] == cur {
 				ownR[i] = 1 - cur
-				qubits += a.Memory
+				if err := appendReg("R", i, st.R[i], a.Memory); err != nil {
+					return res, err
+				}
 			}
 		}
+		qubits := res.Transcript.Len() - before
 		if qubits == 0 {
-			qubits = 1 // pure control message
+			res.Transcript.AppendBit(false) // pure control message
+			qubits = 1
 		}
 		res.Metrics.Messages++
 		res.Metrics.Qubits += qubits

@@ -126,6 +126,32 @@ func TestMessagesShrinkWithD(t *testing.T) {
 	}
 }
 
+// The communication accounting is the transcript encoding: every shipped
+// register is encoded at its declared width and Qubits is exactly the
+// transcript length.
+func TestTranscriptIsTheAccounting(t *testing.T) {
+	for _, d := range []int{1, 3, 8} {
+		alg := NewRelayAlgorithm(d, xorFn)
+		sim, err := alg.RunTwoParty(0xBEEF, 0xCAFE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Transcript.Len() != sim.Metrics.Qubits {
+			t.Errorf("d=%d: transcript %d bits, Qubits %d", d, sim.Transcript.Len(), sim.Metrics.Qubits)
+		}
+	}
+}
+
+// A register whose value exceeds its declared width cannot be shipped: the
+// simulation fails instead of silently undercounting the communication.
+func TestRegisterWidthIsVerified(t *testing.T) {
+	alg := NewRelayAlgorithm(3, xorFn)
+	alg.Bandwidth = 4 // too narrow for the 24-bit relay values
+	if _, err := alg.RunTwoParty(0xAB, 0xCD); err == nil {
+		t.Error("over-width register accepted")
+	}
+}
+
 func TestValidate(t *testing.T) {
 	alg := NewRelayAlgorithm(3, xorFn)
 	bad := *alg

@@ -17,9 +17,12 @@
 // All four layers execute on the shared CONGEST round engine
 // (internal/congest), which shards every round over a pool of workers; the
 // execution is bit-for-bit deterministic for any worker count, so
-// WithWorkers only trades wall-clock time. Engine options (WithWorkers,
-// WithBandwidth) are accepted by every classical entry point and by the
-// Engine field of QuantumOptions.
+// WithWorkers only trades wall-clock time. Every message is a typed wire
+// message encoded to real bits, and all bandwidth accounting is derived
+// from the encoded lengths (see the CONGEST programming layer below:
+// CongestNode, Outbox, WireMessage, RegisterMessageKind). Engine options
+// (WithWorkers, WithBandwidth, WithStrictAccounting) are accepted by every
+// classical entry point and by the Engine field of QuantumOptions.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results versus the paper's claims.
@@ -69,10 +72,10 @@ var (
 type ClassicalResult = congest.ExactResult
 
 // EngineOption configures the CONGEST round engine (worker count,
-// bandwidth, observers). Every option is deterministic: for a fixed seed
-// the computed outputs, round counts and Metrics are identical whatever the
-// engine configuration, with the sole exception of WithBandwidth, which
-// changes the model itself.
+// bandwidth, observers, strict accounting). Every option is deterministic:
+// for a fixed seed the computed outputs, round counts and Metrics are
+// identical whatever the engine configuration, with the sole exception of
+// WithBandwidth, which changes the model itself.
 type EngineOption = congest.Option
 
 // Engine options.
@@ -82,6 +85,59 @@ var (
 	WithWorkers = congest.WithWorkers
 	// WithBandwidth overrides the per-edge per-round bit budget.
 	WithBandwidth = congest.WithBandwidth
+	// WithStrictAccounting cross-checks declared size formulas
+	// (WireBitsDeclarer) against encoded lengths and fails on mismatch.
+	WithStrictAccounting = congest.WithStrictAccounting
+	// WithCongestObserver installs a per-delivery callback that sees each
+	// message's encoded bits (used by the lower-bound transcripts).
+	WithCongestObserver = congest.WithObserver
+)
+
+// The CONGEST programming layer: write node programs against typed wire
+// messages and run them on the shared deterministic engine. Every message
+// a program emits is encoded to real bits (kind tag + payload, widths
+// derived from n), and all bandwidth accounting is the encoded length —
+// declared sizes are never trusted.
+type (
+	// CongestNetwork couples a graph with one node program per vertex.
+	CongestNetwork = congest.Network
+	// CongestNode is a per-node program (Send/Receive/Done).
+	CongestNode = congest.Node
+	// CongestEnv is the read-only per-node view the engine passes in.
+	CongestEnv = congest.Env
+	// CongestMetrics aggregates the measured cost of a run.
+	CongestMetrics = congest.Metrics
+	// Outbox stages a node's outbound messages; Put encodes immediately.
+	Outbox = congest.Outbox
+	// Inbound is a received message; Decode unpacks its payload.
+	Inbound = congest.Inbound
+	// WireMessage is the marshalling contract every message implements.
+	WireMessage = congest.WireMessage
+	// WireBitsDeclarer optionally states a size formula for strict checks.
+	WireBitsDeclarer = congest.BitsDeclarer
+	// WireWriter / WireReader are the packed bit codecs of the format.
+	WireWriter = congest.Writer
+	WireReader = congest.Reader
+	// WireView is a read-only window onto one encoded message.
+	WireView = congest.WireView
+	// MessageKind tags a wire-message type; kinds 16..31 are free for
+	// external programs.
+	MessageKind = congest.Kind
+)
+
+// Wire-format helpers.
+var (
+	// NewCongestNetwork builds a network of node programs over a graph.
+	NewCongestNetwork = congest.NewNetwork
+	// RegisterMessageKind registers a custom message kind with a name and
+	// a decode factory; the engine refuses unregistered kinds.
+	RegisterMessageKind = congest.RegisterKind
+	// BitsForID returns the bits needed to name one of n values (0 for
+	// n <= 1).
+	BitsForID = congest.BitsForID
+	// DefaultCongestBandwidth is the per-edge per-round budget used when
+	// none is configured: Theta(log n).
+	DefaultCongestBandwidth = congest.DefaultBandwidth
 )
 
 // ClassicalExactDiameter computes the exact diameter with the classical
