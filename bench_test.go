@@ -624,6 +624,202 @@ func TestWriteWireBench(t *testing.T) {
 	fmt.Println("wrote BENCH_wire.json")
 }
 
+// --- Session benchmark: BENCH_session.json. ---
+//
+// The session layer builds the network once and re-runs it per Evaluation
+// (Reset+Run) instead of calling NewNetwork per phase per eval. This
+// benchmark records the effect on the paper's hot loop — the Figure 2
+// Evaluation that every Grover iteration executes — and on a full
+// ExactDiameter run. The fresh-network per-eval path (TokenWalk +
+// EccentricitiesOf) still exists and is measured live; the full-run
+// fresh-network numbers are frozen in sessionBaseline because the
+// algorithm itself now runs on sessions.
+
+// sessionBaseline is the fresh-network full-run cost measured immediately
+// before the session layer landed, on this machine (workers=1):
+// core.ExactDiameter on path/128, one run.
+var sessionBaseline = struct {
+	Workload     string  `json:"workload"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}{
+	Workload:     "core.ExactDiameter path/128 seed=1 workers=1 (fresh NewNetwork per phase per eval)",
+	AllocsPerRun: 157200,
+	WallSeconds:  0.67,
+}
+
+// sessionEvalCost measures allocations per Evaluation and evaluations per
+// second over `evals` Figure 2 evaluations executed by eval.
+func sessionEvalCost(t *testing.T, n, evals int, eval func(u0 int)) (allocsPerEval, evalsPerSec float64) {
+	t.Helper()
+	allocsPerEval = testing.AllocsPerRun(2, func() {
+		for i := 0; i < evals; i++ {
+			eval((i * 131) % n)
+		}
+	}) / float64(evals)
+	start := time.Now()
+	for i := 0; i < evals; i++ {
+		eval((i*131 + 7) % n)
+	}
+	return allocsPerEval, float64(evals) / time.Since(start).Seconds()
+}
+
+type sessionBenchFile struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Workload    string `json:"workload"`
+	Note        string `json:"note"`
+	Eval        struct {
+		Graph            string  `json:"graph"`
+		N                int     `json:"n"`
+		Evals            int     `json:"evals_measured"`
+		FreshAllocsPerEv float64 `json:"fresh_allocs_per_eval"`
+		FreshEvalsPerSec float64 `json:"fresh_evals_per_sec"`
+		SessAllocsPerEv  float64 `json:"session_allocs_per_eval"`
+		SessEvalsPerSec  float64 `json:"session_evals_per_sec"`
+		AllocReduction   float64 `json:"alloc_reduction_factor"`
+	} `json:"exact_diameter_evaluation_path_n1024"`
+	FullRun struct {
+		FreshBaseline any     `json:"fresh_network_baseline_frozen"`
+		AllocsPerRun  float64 `json:"session_allocs_per_run"`
+		WallSeconds   float64 `json:"session_wall_seconds"`
+		Rounds        int     `json:"rounds"`
+		Diameter      int     `json:"diameter"`
+	} `json:"exact_diameter_full_run_path_n128"`
+}
+
+// TestWriteSessionBench regenerates BENCH_session.json. It is too slow for
+// the default test run, so it is gated:
+//
+//	QCONGEST_BENCH_SESSION=1 go test -run TestWriteSessionBench -timeout 30m
+func TestWriteSessionBench(t *testing.T) {
+	if os.Getenv("QCONGEST_BENCH_SESSION") == "" {
+		t.Skip("set QCONGEST_BENCH_SESSION=1 to measure and write BENCH_session.json")
+	}
+	out := sessionBenchFile{
+		GeneratedBy: "QCONGEST_BENCH_SESSION=1 go test -run TestWriteSessionBench",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workload: "Figure 2 Evaluation (2d-step walk + 6d+2 wave + max convergecast) per eval, " +
+			"and one full core.ExactDiameter run",
+		Note: "fresh = a NewNetwork per phase per Evaluation (TokenWalk + EccentricitiesOf, still " +
+			"measured live); session = WalkSession/EccSession built once, Reset+Run per Evaluation. " +
+			"Outputs are bit-identical (TestSessionReuseBitIdentical); only setup cost differs. The " +
+			"full-run fresh baseline is frozen above (sessionBaseline) because ExactDiameter itself " +
+			"now runs on sessions. workers=1 throughout: this isolates setup amortization from " +
+			"round-level parallelism (BENCH_engine.json's story).",
+	}
+
+	// Per-eval costs on path/1024.
+	g := Path(1024)
+	topo, err := NewCongestTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := congest.PreprocessOn(topo, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+	const evals = 4
+	freshAllocs, freshRate := sessionEvalCost(t, g.N(), evals, func(u0 int) {
+		tau, _, err := congest.TokenWalk(g, info, info.Children, u0, 2*d, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := congest.EccentricitiesOf(g, info, tau, 6*d+2, WithWorkers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	walk := congest.NewWalkSession(topo, info, info.Children, 2*d, WithWorkers(1))
+	defer walk.Close()
+	ecc := congest.NewEccSession(topo, info, 6*d+2, WithWorkers(1))
+	defer ecc.Close()
+	warm := func(u0 int) {
+		tau, _, err := walk.Eval(u0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ecc.Eval(tau); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm(1) // engines built, buffers grown
+	sessAllocs, sessRate := sessionEvalCost(t, g.N(), evals, warm)
+	ev := &out.Eval
+	ev.Graph, ev.N, ev.Evals = "path", g.N(), evals
+	ev.FreshAllocsPerEv, ev.FreshEvalsPerSec = freshAllocs, freshRate
+	ev.SessAllocsPerEv, ev.SessEvalsPerSec = sessAllocs, sessRate
+	if sessAllocs > 0 {
+		ev.AllocReduction = freshAllocs / sessAllocs
+	}
+	t.Logf("eval path/1024: fresh %.0f allocs/eval %.2f evals/s; session %.1f allocs/eval %.2f evals/s (%.0fx fewer allocs)",
+		freshAllocs, freshRate, sessAllocs, sessRate, ev.AllocReduction)
+
+	// Full ExactDiameter on path/128, sessions (current implementation) vs
+	// the frozen fresh baseline.
+	g128 := Path(128)
+	var res QuantumResult
+	runAllocs := testing.AllocsPerRun(1, func() {
+		r, err := QuantumExactDiameter(g128, QuantumOptions{Seed: 1, Engine: []EngineOption{WithWorkers(1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	start := time.Now()
+	if _, err := QuantumExactDiameter(g128, QuantumOptions{Seed: 1, Engine: []EngineOption{WithWorkers(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	out.FullRun.FreshBaseline = sessionBaseline
+	out.FullRun.AllocsPerRun = runAllocs
+	out.FullRun.WallSeconds = time.Since(start).Seconds()
+	out.FullRun.Rounds = res.Rounds
+	out.FullRun.Diameter = res.Diameter
+	t.Logf("full run path/128: session %.0f allocs/run %.2fs (frozen fresh baseline: %.0f allocs/run %.2fs)",
+		runAllocs, out.FullRun.WallSeconds, sessionBaseline.AllocsPerRun, sessionBaseline.WallSeconds)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_session.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_session.json")
+}
+
+// BenchmarkEvalSession is the allocation canary for the session layer: one
+// warm Figure 2 Evaluation per iteration. Run with -benchmem; allocs/op
+// regressing from single digits means a session stopped recycling state.
+func BenchmarkEvalSession(b *testing.B) {
+	g := Path(256)
+	topo, err := NewCongestTopology(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, _, err := congest.PreprocessOn(topo, WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	walk := congest.NewWalkSession(topo, info, info.Children, 2*info.D, WithWorkers(1))
+	defer walk.Close()
+	ecc := congest.NewEccSession(topo, info, 6*info.D+2, WithWorkers(1))
+	defer ecc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tau, _, err := walk.Eval(i % g.N())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ecc.Eval(tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func sizeName(n int) string { return "n=" + itoa(n) }
 
 func itoa(v int) string {

@@ -24,13 +24,14 @@ func main() {
 
 func run() error {
 	var (
-		kind    = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
-		n       = flag.Int("n", 40, "number of vertices")
-		d       = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
-		p       = flag.Float64("p", 0.1, "edge probability (random)")
-		algo    = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
+		kind     = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
+		n        = flag.Int("n", 40, "number of vertices")
+		d        = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
+		p        = flag.Float64("p", 0.1, "edge probability (random)")
+		algo     = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx")
+		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
+		parallel = flag.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
 	)
 	flag.Parse()
 	engine := []qcongest.EngineOption{qcongest.WithWorkers(*workers)}
@@ -61,13 +62,14 @@ func run() error {
 		fmt.Printf("classical 3/2-approx: estimate=%d rounds=%d\n", res.Diameter, res.Metrics.Rounds)
 	case "quantum-exact", "quantum-simple", "quantum-approx":
 		var res qcongest.QuantumResult
+		qopts := qcongest.QuantumOptions{Seed: *seed, Parallel: *parallel, Engine: engine}
 		switch *algo {
 		case "quantum-exact":
-			res, err = qcongest.QuantumExactDiameter(g, qcongest.QuantumOptions{Seed: *seed, Engine: engine})
+			res, err = qcongest.QuantumExactDiameter(g, qopts)
 		case "quantum-simple":
-			res, err = qcongest.QuantumExactDiameterSimple(g, qcongest.QuantumOptions{Seed: *seed, Engine: engine})
+			res, err = qcongest.QuantumExactDiameterSimple(g, qopts)
 		default:
-			res, err = qcongest.QuantumApproxDiameter(g, qcongest.QuantumOptions{Seed: *seed, Engine: engine})
+			res, err = qcongest.QuantumApproxDiameter(g, qopts)
 		}
 		if err != nil {
 			return err

@@ -41,7 +41,11 @@ func run() error {
 
 	fmt.Println("\n=== Figure 2: Evaluation procedure (walk + waves + convergecast) ===")
 	g := qcongest.RandomConnected(40, 0.08, *seed)
-	info, _, err := congest.Preprocess(g, engine)
+	topo, err := congest.NewTopology(g)
+	if err != nil {
+		return err
+	}
+	info, _, err := congest.PreprocessOn(topo, engine)
 	if err != nil {
 		return err
 	}
@@ -53,12 +57,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The Evaluation sessions are built once; each u0 is a Reset+Run — the
+	// same execution shape the quantum algorithms use per Grover iteration.
+	walk := congest.NewWalkSession(topo, info, info.Children, 2*info.D, engine)
+	defer walk.Close()
+	ecc := congest.NewEccSession(topo, info, 6*info.D+2, engine)
+	defer ecc.Close()
 	for _, u0 := range []int{0, 13, 27} {
-		tau, mw, err := congest.TokenWalk(g, info, info.Children, u0, 2*info.D, engine)
+		tau, mw, err := walk.Eval(u0)
 		if err != nil {
 			return err
 		}
-		val, mr, err := congest.EccentricitiesOf(g, info, tau, 6*info.D+2, engine)
+		val, mr, err := ecc.Eval(tau)
 		if err != nil {
 			return err
 		}

@@ -20,11 +20,12 @@ func main() {
 
 func run() error {
 	var (
-		trials  = flag.Int("trials", 3, "seeds per quantum measurement")
-		seed    = flag.Int64("seed", 1, "base seed")
-		diam    = flag.Int("d", 4, "fixed diameter for the n sweep")
-		long    = flag.Bool("long", false, "use larger sweeps")
-		workers = flag.Int("workers", 0, "engine workers per round (0 = auto; measured rounds are identical for any value)")
+		trials   = flag.Int("trials", 3, "seeds per quantum measurement")
+		seed     = flag.Int64("seed", 1, "base seed")
+		diam     = flag.Int("d", 4, "fixed diameter for the n sweep")
+		long     = flag.Bool("long", false, "use larger sweeps")
+		workers  = flag.Int("workers", 0, "engine workers per round (0 = auto; measured rounds are identical for any value)")
+		parallel = flag.Int("parallel", 1, "quantum trials run concurrently per sweep point (results are identical for any value)")
 	)
 	flag.Parse()
 	engine := qcongest.WithWorkers(*workers)
@@ -35,7 +36,7 @@ func run() error {
 	}
 
 	fmt.Println("=== Table 1, row 'Exact computation' ===")
-	classical, quantum, err := qcongest.ExactComparison(sizes, *diam, *trials, *seed, engine)
+	classical, quantum, err := qcongest.ExactComparison(sizes, *diam, *trials, *seed, *parallel, engine)
 	if err != nil {
 		return err
 	}
@@ -51,7 +52,7 @@ func run() error {
 	}
 
 	fmt.Println("=== Theorem 1: quantum rounds vs D (n fixed) ===")
-	sweep, err := qcongest.DiameterSweep(sizes[len(sizes)-1]/2, []int{3, 6, 12}, *trials, *seed, engine)
+	sweep, err := qcongest.DiameterSweep(sizes[len(sizes)-1]/2, []int{3, 6, 12}, *trials, *seed, *parallel, engine)
 	if err != nil {
 		return err
 	}
@@ -60,7 +61,7 @@ func run() error {
 		sweep.Slope(func(p qcongest.Point) float64 { return float64(p.D) }))
 
 	fmt.Println("=== Table 1, row '3/2-approximation' ===")
-	ca, qa, err := qcongest.ApproxComparison(sizes, *diam, *trials, *seed, engine)
+	ca, qa, err := qcongest.ApproxComparison(sizes, *diam, *trials, *seed, *parallel, engine)
 	if err != nil {
 		return err
 	}

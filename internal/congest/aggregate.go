@@ -75,6 +75,33 @@ func NewConvergecastMaxNode(parent int, children []int, value, witness int) *Con
 	}
 }
 
+// MaxInputs is the Reset params of a max-convergecast session: the
+// per-vertex input values of the next execution and, optionally, their
+// witnesses (nil: each vertex witnesses itself, like ConvergecastMax).
+type MaxInputs struct {
+	Values    []int
+	Witnesses []int
+}
+
+// ResetNode implements Resettable.
+func (c *ConvergecastMaxNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case MaxInputs:
+		c.Value = p.Values[v]
+		if p.Witnesses != nil {
+			c.Witness = p.Witnesses[v]
+		} else {
+			c.Witness = v
+		}
+	default:
+		badResetParams("ConvergecastMaxNode", params)
+	}
+	c.Max, c.MaxWitness = c.Value, c.Witness
+	c.received = 0
+	c.sent = false
+}
+
 // Send implements Node.
 func (c *ConvergecastMaxNode) Send(env *Env, out *Outbox) {
 	if c.sent || c.received < len(c.Children) {
@@ -131,6 +158,24 @@ func NewBroadcastNode(parent int, children []int, value int) *BroadcastNode {
 		b.have = true
 	}
 	return b
+}
+
+// BcastValue is the Reset params of a broadcast session: the value the root
+// distributes in the next execution.
+type BcastValue struct{ Value int }
+
+// ResetNode implements Resettable. Like the constructor, the value is
+// installed at every vertex but only the root's copy matters.
+func (b *BroadcastNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case BcastValue:
+		b.Value = p.Value
+	default:
+		badResetParams("BroadcastNode", params)
+	}
+	b.have = b.Parent < 0
+	b.sent = false
 }
 
 // Send implements Node.

@@ -43,6 +43,23 @@ type notifyNode struct {
 	tx   msgChild
 }
 
+// notifyMarks is the Reset params of a notify session: the per-vertex
+// marked flags of the next execution.
+type notifyMarks struct{ Marked []bool }
+
+// ResetNode implements Resettable.
+func (nn *notifyNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case notifyMarks:
+		nn.Marked = p.Marked[v]
+	default:
+		badResetParams("notifyNode", params)
+	}
+	nn.MarkedChildren = nil
+	nn.sent = false
+}
+
 func (nn *notifyNode) Send(env *Env, out *Outbox) {
 	if nn.sent {
 		return
@@ -68,12 +85,24 @@ func (nn *notifyNode) Done() bool { return nn.sent }
 // the given randomness seed. It retries the sampling (with derived seeds)
 // when Step 1's abort condition triggers or the sample is empty.
 func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPrep, Metrics, error) {
+	topo, err := NewTopology(g)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return PrepareApproxOn(topo, s, seed, opts...)
+}
+
+// PrepareApproxOn is PrepareApprox on an already-built topology. The
+// repeated counting probes of the R-selection binary searches (one
+// convergecast sum plus one broadcast each, O(log n) of them) run on two
+// sessions built once and Reset per probe instead of fresh networks.
+func PrepareApproxOn(topo *Topology, s int, seed int64, opts ...Option) (*ApproxPrep, Metrics, error) {
 	var total Metrics
-	n := g.N()
+	n := topo.N()
 	if s < 1 || s > n {
 		return nil, total, fmt.Errorf("congest: sample parameter s=%d out of [1,%d]", s, n)
 	}
-	info, m, err := Preprocess(g, opts...)
+	info, m, err := PreprocessOn(topo, opts...)
 	if err != nil {
 		return nil, total, err
 	}
@@ -82,10 +111,26 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	prep := &ApproxPrep{Info: info}
 
 	// Step 1: each vertex joins S with probability (log n)/s, abort (and
-	// retry) when more than n(log n)^2/s vertices join.
+	// retry) when more than n(log n)^2/s vertices join. The per-attempt
+	// count check reuses one sum session over BFS(leader).
 	logn := math.Log(float64(n)) + 1
 	prob := math.Min(1, logn/float64(s))
 	limit := int(float64(n)*logn*logn/float64(s)) + 1
+	sumLeader := NewSession(topo, func(v int) Node {
+		return NewConvergecastSumNode(info.Parent[v], info.Children[v], 0)
+	}, opts...)
+	defer sumLeader.Close()
+	vals := make([]int, n) // reusable per-vertex input buffer for the probes
+	runSum := func(sess *Session, root int) (int, error) {
+		if err := sess.Reset(SumInputs{Values: vals}); err != nil {
+			return 0, err
+		}
+		if err := sess.Run(4*n + 16); err != nil {
+			return 0, fmt.Errorf("sum convergecast: %w", err)
+		}
+		total.Add(sess.Metrics())
+		return sess.Node(root).(*ConvergecastSumNode).Sum, nil
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt >= 16 {
 			return nil, total, fmt.Errorf("congest: sampling failed %d times", attempt)
@@ -94,17 +139,18 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 		prep.S = make([]bool, n)
 		count := 0
 		for v := 0; v < n; v++ {
+			vals[v] = 0
 			if rng.Float64() < prob {
 				prep.S[v] = true
+				vals[v] = 1
 				count++
 			}
 		}
 		// The count check is a convergecast sum in the real network.
-		sum, m, err := Sum(g, info, boolToInt(prep.S), opts...)
+		sum, err := runSum(sumLeader, info.Leader)
 		if err != nil {
 			return nil, total, err
 		}
-		total.Add(m)
 		if sum != count {
 			return nil, total, fmt.Errorf("congest: sum convergecast returned %d, want %d", sum, count)
 		}
@@ -114,10 +160,7 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	}
 
 	// Step 2: p(v) = closest member of S, then w = argmax d(v, p(v)).
-	nw, err := NewNetwork(g, func(v int) Node { return NewMinFloodNode(prep.S[v]) }, opts...)
-	if err != nil {
-		return nil, total, err
-	}
+	nw := NewNetworkOn(topo, func(v int) Node { return NewMinFloodNode(prep.S[v]) }, opts...)
 	if err := nw.Run(4*n + 16); err != nil {
 		return nil, total, fmt.Errorf("min flood: %w", err)
 	}
@@ -126,7 +169,7 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	for v := 0; v < n; v++ {
 		distS[v] = nw.Node(v).(*MinFloodNode).Dist
 	}
-	_, w, m, err := ConvergecastMax(g, info, distS, nil, opts...)
+	_, w, m, err := ConvergecastMaxOn(topo, info, distS, nil, opts...)
 	if err != nil {
 		return nil, total, err
 	}
@@ -134,17 +177,14 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	prep.W = w
 
 	// Broadcast w so every node can join the BFS from it.
-	bm, err := Broadcast(g, info, w, opts...)
+	bm, err := BroadcastOn(topo, info, w, opts...)
 	if err != nil {
 		return nil, total, err
 	}
 	total.Add(bm)
 
 	// Step 3: BFS from w; the s closest vertices join R.
-	nw, err = NewNetwork(g, func(v int) Node { return NewBFSNode(w) }, opts...)
-	if err != nil {
-		return nil, total, err
-	}
+	nw = NewNetworkOn(topo, func(v int) Node { return NewBFSNode(w) }, opts...)
 	if err := nw.Run(8*n + 16); err != nil {
 		return nil, total, fmt.Errorf("bfs from w: %w", err)
 	}
@@ -164,24 +204,40 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 
 	// Select R: the s closest vertices to w, ties broken by id. Two
 	// distributed binary searches (threshold on depth, then on id within
-	// the boundary layer), each probe one convergecast sum + broadcast.
+	// the boundary layer), each probe one convergecast sum + broadcast —
+	// both on sessions built once for the whole search and Reset per probe.
 	wInfo := &PreInfo{Leader: w, Parent: prep.WParent, Depth: prep.WDepth, Children: prep.WNatural, D: prep.EccW}
+	sumW := NewSession(topo, func(v int) Node {
+		return NewConvergecastSumNode(wInfo.Parent[v], wInfo.Children[v], 0)
+	}, opts...)
+	defer sumW.Close()
+	bcastW := NewSession(topo, func(v int) Node {
+		return NewBroadcastNode(wInfo.Parent[v], wInfo.Children[v], 0)
+	}, opts...)
+	defer bcastW.Close()
+	runBcast := func(value int) error {
+		if err := bcastW.Reset(BcastValue{Value: value}); err != nil {
+			return err
+		}
+		if err := bcastW.Run(4*n + 16); err != nil {
+			return fmt.Errorf("broadcast: %w", err)
+		}
+		total.Add(bcastW.Metrics())
+		return nil
+	}
 	countAtMostDepth := func(t int) (int, error) {
-		vals := make([]int, n)
 		for v := 0; v < n; v++ {
+			vals[v] = 0
 			if prep.WDepth[v] <= t {
 				vals[v] = 1
 			}
 		}
-		c, m, err := Sum(g, wInfo, vals, opts...)
-		total.Add(m)
+		c, err := runSum(sumW, w)
 		if err != nil {
 			return 0, err
 		}
-		if bm, err2 := Broadcast(g, wInfo, t, opts...); err2 != nil {
-			return 0, err2
-		} else {
-			total.Add(bm)
+		if err := runBcast(t); err != nil {
+			return 0, err
 		}
 		return c, nil
 	}
@@ -209,21 +265,18 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	}
 	need := s - below // how many depth == tStar vertices to admit, by id
 	countLayerIDAtMost := func(theta int) (int, error) {
-		vals := make([]int, n)
 		for v := 0; v < n; v++ {
+			vals[v] = 0
 			if prep.WDepth[v] == tStar && v <= theta {
 				vals[v] = 1
 			}
 		}
-		c, m, err := Sum(g, wInfo, vals, opts...)
-		total.Add(m)
+		c, err := runSum(sumW, w)
 		if err != nil {
 			return 0, err
 		}
-		if bm, err2 := Broadcast(g, wInfo, theta, opts...); err2 != nil {
-			return 0, err2
-		} else {
-			total.Add(bm)
+		if err := runBcast(theta); err != nil {
+			return 0, err
 		}
 		return c, nil
 	}
@@ -253,12 +306,9 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	}
 
 	// R members notify their BFS(w) parents, yielding the R-subtree.
-	nw, err = NewNetwork(g, func(v int) Node {
+	nw = NewNetworkOn(topo, func(v int) Node {
 		return &notifyNode{Parent: prep.WParent[v], Marked: prep.RMembers[v]}
 	}, opts...)
-	if err != nil {
-		return nil, total, err
-	}
 	if err := nw.Run(8); err != nil {
 		return nil, total, fmt.Errorf("R notify: %w", err)
 	}
@@ -275,7 +325,7 @@ func PrepareApprox(g *graph.Graph, s int, seed int64, opts ...Option) (*ApproxPr
 	if steps < 1 {
 		steps = 1
 	}
-	tauR, m2, err := TokenWalk(g, wInfo, prep.RChild, w, steps, opts...)
+	tauR, m2, err := TokenWalkOn(topo, wInfo, prep.RChild, w, steps, opts...)
 	if err != nil {
 		return nil, total, err
 	}
@@ -307,7 +357,11 @@ func ClassicalApproxDiameter(g *graph.Graph, s int, seed int64, opts ...Option) 
 	if s > n {
 		s = n
 	}
-	prep, m, err := PrepareApprox(g, s, seed, opts...)
+	topo, err := NewTopology(g)
+	if err != nil {
+		return res, err
+	}
+	prep, m, err := PrepareApproxOn(topo, s, seed, opts...)
 	if err != nil {
 		return res, err
 	}
@@ -322,16 +376,13 @@ func ClassicalApproxDiameter(g *graph.Graph, s int, seed int64, opts ...Option) 
 	}
 	sources := maxRank + 1
 	duration := sources + 2*prep.Info.D + 8
-	nw, err := NewNetwork(g, func(v int) Node {
+	nw := NewNetworkOn(topo, func(v int) Node {
 		rank := -1
 		if prep.RMembers[v] {
 			rank = prep.TauR[v]
 		}
 		return NewSSPNode(rank, sources, duration)
 	}, opts...)
-	if err != nil {
-		return res, err
-	}
 	if err := nw.Run(duration + 4); err != nil {
 		return res, fmt.Errorf("multi-source BFS: %w", err)
 	}
@@ -343,12 +394,9 @@ func ClassicalApproxDiameter(g *graph.Graph, s int, seed int64, opts ...Option) 
 
 	// Per-source maximum convergecast on BFS(w): ecc of each R member.
 	wInfo := &PreInfo{Leader: prep.W, Parent: prep.WParent, Depth: prep.WDepth, Children: prep.WNatural, D: prep.EccW}
-	nw, err = NewNetwork(g, func(v int) Node {
+	nw = NewNetworkOn(topo, func(v int) Node {
 		return NewSourceMaxNode(prep.WParent[v], prep.WNatural[v], prep.WDepth[v], wInfo.D, sources, dists[v])
 	}, opts...)
-	if err != nil {
-		return res, err
-	}
 	if err := nw.Run(wInfo.D + sources + 8); err != nil {
 		return res, fmt.Errorf("source max convergecast: %w", err)
 	}
@@ -365,37 +413,39 @@ func ClassicalApproxDiameter(g *graph.Graph, s int, seed int64, opts ...Option) 
 }
 
 func Sum(g *graph.Graph, info *PreInfo, values []int, opts ...Option) (int, Metrics, error) {
-	nw, err := NewNetwork(g, func(v int) Node {
-		return NewConvergecastSumNode(info.Parent[v], info.Children[v], values[v])
-	}, opts...)
+	topo, err := NewTopology(g)
 	if err != nil {
 		return 0, Metrics{}, err
 	}
-	if err := nw.Run(4*g.N() + 16); err != nil {
+	return SumOn(topo, info, values, opts...)
+}
+
+// SumOn is Sum on an already-built topology.
+func SumOn(topo *Topology, info *PreInfo, values []int, opts ...Option) (int, Metrics, error) {
+	nw := NewNetworkOn(topo, func(v int) Node {
+		return NewConvergecastSumNode(info.Parent[v], info.Children[v], values[v])
+	}, opts...)
+	if err := nw.Run(4*topo.N() + 16); err != nil {
 		return 0, nw.Metrics(), fmt.Errorf("sum convergecast: %w", err)
 	}
 	return nw.Node(info.Leader).(*ConvergecastSumNode).Sum, nw.Metrics(), nil
 }
 
 func Broadcast(g *graph.Graph, info *PreInfo, value int, opts ...Option) (Metrics, error) {
-	nw, err := NewNetwork(g, func(v int) Node {
-		return NewBroadcastNode(info.Parent[v], info.Children[v], value)
-	}, opts...)
+	topo, err := NewTopology(g)
 	if err != nil {
 		return Metrics{}, err
 	}
-	if err := nw.Run(4*g.N() + 16); err != nil {
+	return BroadcastOn(topo, info, value, opts...)
+}
+
+// BroadcastOn is Broadcast on an already-built topology.
+func BroadcastOn(topo *Topology, info *PreInfo, value int, opts ...Option) (Metrics, error) {
+	nw := NewNetworkOn(topo, func(v int) Node {
+		return NewBroadcastNode(info.Parent[v], info.Children[v], value)
+	}, opts...)
+	if err := nw.Run(4*topo.N() + 16); err != nil {
 		return nw.Metrics(), fmt.Errorf("broadcast: %w", err)
 	}
 	return nw.Metrics(), nil
-}
-
-func boolToInt(b []bool) []int {
-	out := make([]int, len(b))
-	for i, v := range b {
-		if v {
-			out[i] = 1
-		}
-	}
-	return out
 }

@@ -81,6 +81,33 @@ func NewBFSNode(root int) *BFSNode {
 	return &BFSNode{Root: root, Dist: -1, Parent: -1, childReports: map[int]int{}}
 }
 
+// BFSRoot is the Reset params of a BFS session: the root of the next
+// construction.
+type BFSRoot struct{ Root int }
+
+// ResetNode implements Resettable. The Children slice is dropped (not
+// truncated): the previous run's output may have escaped into a PreInfo,
+// and a session must never mutate results it already handed out.
+func (b *BFSNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case BFSRoot:
+		b.Root = p.Root
+	default:
+		badResetParams("BFSNode", params)
+	}
+	b.Dist, b.Parent = -1, -1
+	b.Children = nil
+	b.Ecc = 0
+	b.activated = false
+	b.activationSent = false
+	b.childNotified = false
+	b.childrenFinal = false
+	b.reported = false
+	clear(b.childReports)
+	b.done = false
+}
+
 // Send implements Node.
 func (b *BFSNode) Send(env *Env, out *Outbox) {
 	if env.ID == b.Root && !b.activated {
@@ -182,6 +209,16 @@ type LeaderElectNode struct {
 // NewLeaderElectNode returns the program for one node.
 func NewLeaderElectNode() *LeaderElectNode {
 	return &LeaderElectNode{Leader: -1}
+}
+
+// ResetNode implements Resettable (no params).
+func (l *LeaderElectNode) ResetNode(v int, params any) {
+	if params != nil {
+		badResetParams("LeaderElectNode", params)
+	}
+	l.Leader = -1
+	l.pending = false
+	l.started = false
 }
 
 // Send implements Node.

@@ -41,6 +41,17 @@
 // DESIGN.md ("Execution engine", "Wire format") documents the concurrency
 // model, the determinism argument and the message encodings in full.
 //
+// # Execution sessions
+//
+// Callers that execute the same program family many times (the quantum
+// algorithms run one Evaluation per Grover iteration) should not rebuild
+// the network each time: a Topology caches everything derived from the
+// graph, a Session owns the network plus a persistent engine and re-runs
+// it via Reset — bit-identical to a fresh build — and a Pool clones
+// session-backed contexts for concurrent independent executions with
+// deterministic results. See session.go, evalsession.go and DESIGN.md
+// ("Execution sessions").
+//
 // Node programs may be executed concurrently, at most one goroutine per
 // vertex at a time: Send(u) and Send(v) can run in parallel for u != v, and
 // likewise Receive. Programs therefore must not share mutable state across
@@ -160,7 +171,7 @@ func newOutbox(nw *Network, n int) *Outbox {
 func (o *Outbox) beginRound(round int) {
 	o.round = round
 	o.sender = -1
-	o.arena.Reset(o.nw.g.N())
+	o.arena.Reset(o.nw.topo.n)
 	for _, to := range o.touched {
 		o.buf[to] = o.buf[to][:0]
 	}
@@ -231,7 +242,7 @@ func (o *Outbox) stageTo(to int, k Kind, bits int, view WireView) {
 	if o.err != nil {
 		return
 	}
-	if !o.nw.g.HasEdge(o.sender, to) {
+	if !o.nw.topo.HasEdge(o.sender, to) {
 		o.fail(fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", o.round, o.sender, to))
 		return
 	}
@@ -375,7 +386,7 @@ type Observer func(round, from, to, bits int, wire WireView)
 // Network couples a graph with one program per node and runs them in
 // synchronized rounds.
 type Network struct {
-	g         *graph.Graph
+	topo      *Topology
 	nodes     []Node
 	bandwidth int
 	workers   int // configured worker count; <= 0 selects the automatic rule
@@ -432,19 +443,29 @@ func WithObserver(fn Observer) Option {
 
 // NewNetwork builds a network for graph g where node v runs make(v). The
 // graph must be connected (every algorithm in this repository assumes it).
+// The connectivity check and the adjacency tables are computed here, once;
+// callers that build many networks over the same graph should build a
+// Topology once and use NewNetworkOn (or a Session) instead.
 func NewNetwork(g *graph.Graph, make func(v int) Node, opts ...Option) (*Network, error) {
-	if !g.Connected() {
-		return nil, graph.ErrDisconnected
+	topo, err := NewTopology(g)
+	if err != nil {
+		return nil, err
 	}
+	return NewNetworkOn(topo, make, opts...), nil
+}
+
+// NewNetworkOn builds a network over an already-validated topology; no part
+// of the graph is re-scanned. Node v runs make(v).
+func NewNetworkOn(topo *Topology, make func(v int) Node, opts ...Option) *Network {
 	nw := &Network{
-		g:         g,
-		nodes:     make2(g.N(), make),
-		bandwidth: DefaultBandwidth(g.N()),
+		topo:      topo,
+		nodes:     make2(topo.n, make),
+		bandwidth: DefaultBandwidth(topo.n),
 	}
 	for _, o := range opts {
 		o(nw)
 	}
-	return nw, nil
+	return nw
 }
 
 func make2(n int, f func(v int) Node) []Node {
@@ -473,7 +494,7 @@ const minVerticesPerWorker = 64
 // EffectiveWorkers reports the worker count Run will use: the configured
 // value clamped to [1, n], or the automatic rule when none was configured.
 func (nw *Network) EffectiveWorkers() int {
-	n := nw.g.N()
+	n := nw.topo.n
 	k := nw.workers
 	if k <= 0 {
 		k = runtime.NumCPU()
@@ -529,13 +550,13 @@ type engine struct {
 }
 
 func newEngine(nw *Network) *engine {
-	n := nw.g.N()
+	n := nw.topo.n
 	e := &engine{nw: nw, n: n, k: nw.EffectiveWorkers()}
 	e.envs = make([]Env, n)
 	for v := 0; v < n; v++ {
-		// Neighbors also sorts the adjacency lists up front, so the graph
-		// stays read-only once workers start.
-		e.envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v), rd: Reader{N: n}}
+		// The topology's adjacency tables are sorted at construction, so
+		// the graph stays read-only once workers start.
+		e.envs[v] = Env{ID: v, N: n, Neighbors: nw.topo.neighbors[v], rd: Reader{N: n}}
 	}
 	e.inboxes = make([][]Inbound, n)
 	e.bufs = make([][][]Inbound, e.k)
@@ -750,18 +771,13 @@ func (e *engine) finishRecv() bool {
 	return allDone
 }
 
-// Run executes rounds until every node is Done, or fails after maxRounds.
-//
-// The execution is sharded over EffectiveWorkers() goroutines and is
-// deterministic for every worker count (see the package comment). On a
-// validation error the run aborts with the same error a serial execution
-// reports; programs at other vertices may then have advanced within the
-// failing round, Metrics.Rounds names the failing round, and the failing
-// round's partial traffic is not folded into the other Metrics fields.
-func (nw *Network) Run(maxRounds int) error {
-	e := newEngine(nw)
-	defer e.stop()
-
+// execute runs one full execution on the engine: rounds until every node is
+// Done, or an error after maxRounds. It touches only state that beginRound
+// and the round barriers recycle, so a persistent engine (Session) can call
+// it repeatedly — after the node programs are Reset — and every execution
+// is bit-for-bit identical to a run on a freshly built engine.
+func (e *engine) execute(maxRounds int) error {
+	nw := e.nw
 	if nw.observer != nil {
 		nw.observer(0, -1, -1, 0, WireView{}) // run boundary
 	}
@@ -791,6 +807,25 @@ func (nw *Network) Run(maxRounds int) error {
 	}
 }
 
+// Run executes rounds until every node is Done, or fails after maxRounds.
+//
+// The execution is sharded over EffectiveWorkers() goroutines and is
+// deterministic for every worker count (see the package comment). On a
+// validation error the run aborts with the same error a serial execution
+// reports; programs at other vertices may then have advanced within the
+// failing round, Metrics.Rounds names the failing round, and the failing
+// round's partial traffic is not folded into the other Metrics fields.
+//
+// Run builds the execution engine (worker pool, arenas, buffers) from
+// scratch and tears it down when the run finishes. Callers that execute the
+// same program family many times should use a Session, which keeps the
+// engine alive and recycles all of it across executions.
+func (nw *Network) Run(maxRounds int) error {
+	e := newEngine(nw)
+	defer e.stop()
+	return e.execute(maxRounds)
+}
+
 // RunReference is the original single-threaded engine, retained as the
 // behavioral baseline: the determinism tests assert that Run matches it bit
 // for bit, and the engine benchmarks (BENCH_engine.json, BENCH_wire.json)
@@ -799,10 +834,10 @@ func (nw *Network) Run(maxRounds int) error {
 // identical by construction; only the execution strategy differs (one
 // vertex at a time, allocation per round). New code should call Run.
 func (nw *Network) RunReference(maxRounds int) error {
-	n := nw.g.N()
+	n := nw.topo.n
 	envs := make([]Env, n)
 	for v := 0; v < n; v++ {
-		envs[v] = Env{ID: v, N: n, Neighbors: nw.g.Neighbors(v), rd: Reader{N: n}}
+		envs[v] = Env{ID: v, N: n, Neighbors: nw.topo.neighbors[v], rd: Reader{N: n}}
 	}
 	ob := newOutbox(nw, n)
 	// Observer replay buffer: emissions of the whole round, replayed at

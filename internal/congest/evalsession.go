@@ -1,0 +1,130 @@
+package congest
+
+// Composite sessions for the paper's Evaluation procedure (Figure 2): the
+// quantum algorithms run one token walk plus one wave-and-convergecast per
+// Evaluation, hundreds of times per optimization. WalkSession and
+// EccSession are the reusable counterparts of the one-shot TokenWalk and
+// EccentricitiesOf helpers: built once per (topology, tree, schedule), then
+// Reset+Run per Evaluation. Each Eval is bit-for-bit identical — values,
+// Metrics, observer traces, error strings — to the fresh-network helper it
+// replaces; the session determinism tests assert that equivalence.
+
+import "fmt"
+
+// WalkSession is a reusable TokenWalk: the Figure 2 Step 1 walk over a
+// fixed tree, re-runnable from a different start vertex per execution.
+type WalkSession struct {
+	s     *Session
+	steps int
+	tau   []int
+}
+
+// NewWalkSession builds the walk session: L = steps token moves on the tree
+// described by info with the given per-node child lists. The start vertex
+// is an Eval argument, not fixed here.
+func NewWalkSession(topo *Topology, info *PreInfo, children [][]int, steps int, opts ...Option) *WalkSession {
+	return &WalkSession{
+		s: NewSession(topo, func(v int) Node {
+			return NewTokenWalkNode(info.Parent[v], children[v], info.Leader, -1, steps)
+		}, opts...),
+		steps: steps,
+		tau:   make([]int, topo.N()),
+	}
+}
+
+// Eval runs one walk from start and returns tau' (-1 for unvisited
+// vertices). The returned slice is owned by the session and only valid
+// until the next Eval.
+func (ws *WalkSession) Eval(start int) ([]int, Metrics, error) {
+	if err := ws.s.Reset(WalkStart{Start: start}); err != nil {
+		return nil, Metrics{}, err
+	}
+	if err := ws.s.Run(ws.steps + 4); err != nil {
+		return nil, ws.s.Metrics(), fmt.Errorf("token walk: %w", err)
+	}
+	for v := range ws.tau {
+		ws.tau[v] = ws.s.Node(v).(*TokenWalkNode).Tau
+	}
+	return ws.tau, ws.s.Metrics(), nil
+}
+
+// Clone builds an independent walk session over the same shared topology.
+func (ws *WalkSession) Clone() *WalkSession {
+	return &WalkSession{s: ws.s.Clone(), steps: ws.steps, tau: make([]int, len(ws.tau))}
+}
+
+// Close releases the session's engine.
+func (ws *WalkSession) Close() { ws.s.Close() }
+
+// EccSession is a reusable EccentricitiesOf: the Figure 2 Step 2 wave
+// process followed by the Step 3 max convergecast on BFS(leader),
+// re-runnable with a different tau' assignment per execution.
+type EccSession struct {
+	wave     *Session
+	cc       *Session
+	leader   int
+	duration int
+	dv       []int
+}
+
+// NewEccSession builds the wave+convergecast pair on the tree described by
+// info. waveDuration is the fixed length of the wave process (callers
+// derive it from d, as for EccentricitiesOf).
+func NewEccSession(topo *Topology, info *PreInfo, waveDuration int, opts ...Option) *EccSession {
+	return &EccSession{
+		wave: NewSession(topo, func(v int) Node {
+			return NewWaveNode(false, -1, waveDuration)
+		}, opts...),
+		cc: NewSession(topo, func(v int) Node {
+			return NewConvergecastMaxNode(info.Parent[v], info.Children[v], 0, v)
+		}, opts...),
+		leader:   info.Leader,
+		duration: waveDuration,
+		dv:       make([]int, topo.N()),
+	}
+}
+
+// Eval computes max_{u in S} ecc(u) for the set S given as tau'
+// assignments (tau[v] >= 0 iff v in S), exactly like EccentricitiesOf.
+func (es *EccSession) Eval(tau []int) (int, Metrics, error) {
+	var total Metrics
+	if err := es.wave.Reset(WaveTau{Tau: tau}); err != nil {
+		return 0, total, err
+	}
+	if err := es.wave.Run(es.duration + 4); err != nil {
+		return 0, total, fmt.Errorf("wave process: %w", err)
+	}
+	for v := range es.dv {
+		wn := es.wave.Node(v).(*WaveNode)
+		if wn.Violation != nil {
+			return 0, total, wn.Violation
+		}
+		es.dv[v] = wn.DV
+	}
+	total.Add(es.wave.Metrics())
+	if err := es.cc.Reset(MaxInputs{Values: es.dv}); err != nil {
+		return 0, total, err
+	}
+	if err := es.cc.Run(4*len(es.dv) + 16); err != nil {
+		return 0, total, fmt.Errorf("convergecast: %w", err)
+	}
+	total.Add(es.cc.Metrics())
+	return es.cc.Node(es.leader).(*ConvergecastMaxNode).Max, total, nil
+}
+
+// Clone builds an independent ecc session over the same shared topology.
+func (es *EccSession) Clone() *EccSession {
+	return &EccSession{
+		wave:     es.wave.Clone(),
+		cc:       es.cc.Clone(),
+		leader:   es.leader,
+		duration: es.duration,
+		dv:       make([]int, len(es.dv)),
+	}
+}
+
+// Close releases both sessions' engines.
+func (es *EccSession) Close() {
+	es.wave.Close()
+	es.cc.Close()
+}

@@ -35,7 +35,11 @@ func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error)
 		return ExactResult{Diameter: 0}, nil
 	}
 
-	info, m, err := Preprocess(g, opts...)
+	topo, err := NewTopology(g)
+	if err != nil {
+		return res, err
+	}
+	info, m, err := PreprocessOn(topo, opts...)
 	if err != nil {
 		return res, err
 	}
@@ -43,7 +47,7 @@ func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error)
 
 	// Full Euler tour: every vertex receives tau = its DFS number.
 	tourLen := 2 * (n - 1)
-	tau, m, err := TokenWalk(g, info, info.Children, info.Leader, tourLen, opts...)
+	tau, m, err := TokenWalkOn(topo, info, info.Children, info.Leader, tourLen, opts...)
 	if err != nil {
 		return res, err
 	}
@@ -63,7 +67,7 @@ func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error)
 	res.Metrics.Add(m)
 
 	// Convergecast of max dv: the diameter.
-	diam, _, m, err := ConvergecastMax(g, info, dv, nil, opts...)
+	diam, _, m, err := ConvergecastMaxOn(topo, info, dv, nil, opts...)
 	if err != nil {
 		return res, err
 	}

@@ -25,17 +25,24 @@ type PreInfo struct {
 // the gathered information and the total metrics (O(D) rounds; all bit
 // counts are encoded wire lengths of the phases' typed messages).
 func Preprocess(g *graph.Graph, opts ...Option) (*PreInfo, Metrics, error) {
+	topo, err := NewTopology(g)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return PreprocessOn(topo, opts...)
+}
+
+// PreprocessOn is Preprocess on an already-built topology: none of the
+// three phases re-validates or re-scans the graph.
+func PreprocessOn(topo *Topology, opts ...Option) (*PreInfo, Metrics, error) {
 	var total Metrics
-	n := g.N()
+	n := topo.N()
 	if n == 0 {
 		return nil, total, fmt.Errorf("congest: empty graph")
 	}
 
 	// Phase 1: leader election by max-id flooding.
-	nw, err := NewNetwork(g, func(v int) Node { return NewLeaderElectNode() }, opts...)
-	if err != nil {
-		return nil, total, err
-	}
+	nw := NewNetworkOn(topo, func(v int) Node { return NewLeaderElectNode() }, opts...)
 	if err := nw.Run(4*n + 16); err != nil {
 		return nil, total, fmt.Errorf("leader election: %w", err)
 	}
@@ -51,10 +58,7 @@ func Preprocess(g *graph.Graph, opts ...Option) (*PreInfo, Metrics, error) {
 	}
 
 	// Phase 2: BFS(leader) with child discovery and ecc convergecast.
-	nw, err = NewNetwork(g, func(v int) Node { return NewBFSNode(leader) }, opts...)
-	if err != nil {
-		return nil, total, err
-	}
+	nw = NewNetworkOn(topo, func(v int) Node { return NewBFSNode(leader) }, opts...)
 	if err := nw.Run(8*n + 16); err != nil {
 		return nil, total, fmt.Errorf("bfs construction: %w", err)
 	}
@@ -77,12 +81,9 @@ func Preprocess(g *graph.Graph, opts ...Option) (*PreInfo, Metrics, error) {
 
 	// Phase 3: broadcast d = ecc(leader) down the tree so every node can
 	// schedule the fixed-length phases that follow.
-	nw, err = NewNetwork(g, func(v int) Node {
+	nw = NewNetworkOn(topo, func(v int) Node {
 		return NewBroadcastNode(info.Parent[v], info.Children[v], info.D)
 	}, opts...)
-	if err != nil {
-		return nil, total, err
-	}
 	if err := nw.Run(4*n + 16); err != nil {
 		return nil, total, fmt.Errorf("broadcast d: %w", err)
 	}
@@ -95,27 +96,33 @@ func Preprocess(g *graph.Graph, opts ...Option) (*PreInfo, Metrics, error) {
 	return info, total, nil
 }
 
-// runTokenWalk executes the Figure 2 Step 1 walk (L token steps from start
+// TokenWalk executes the Figure 2 Step 1 walk (L token steps from start
 // on the tree described by info, with the given per-node child lists) and
 // returns tau' (-1 for unvisited vertices).
 func TokenWalk(g *graph.Graph, info *PreInfo, children [][]int, start, steps int, opts ...Option) ([]int, Metrics, error) {
-	nw, err := NewNetwork(g, func(v int) Node {
-		return NewTokenWalkNode(info.Parent[v], children[v], info.Leader, start, steps)
-	}, opts...)
+	topo, err := NewTopology(g)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
+	return TokenWalkOn(topo, info, children, start, steps, opts...)
+}
+
+// TokenWalkOn is TokenWalk on an already-built topology.
+func TokenWalkOn(topo *Topology, info *PreInfo, children [][]int, start, steps int, opts ...Option) ([]int, Metrics, error) {
+	nw := NewNetworkOn(topo, func(v int) Node {
+		return NewTokenWalkNode(info.Parent[v], children[v], info.Leader, start, steps)
+	}, opts...)
 	if err := nw.Run(steps + 4); err != nil {
 		return nil, nw.Metrics(), fmt.Errorf("token walk: %w", err)
 	}
-	tau := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
+	tau := make([]int, topo.N())
+	for v := range tau {
 		tau[v] = nw.Node(v).(*TokenWalkNode).Tau
 	}
 	return tau, nw.Metrics(), nil
 }
 
-// runWave executes the Figure 2 Step 2 wave process for the initiators
+// Wave executes the Figure 2 Step 2 wave process for the initiators
 // marked in tau (tau[v] >= 0 means v in S with tau'(v) = tau[v]) and
 // returns each node's dv.
 func Wave(g *graph.Graph, tau []int, duration int, opts ...Option) ([]int, Metrics, error) {
@@ -139,20 +146,26 @@ func Wave(g *graph.Graph, tau []int, duration int, opts ...Option) ([]int, Metri
 	return dv, nw.Metrics(), nil
 }
 
-// runConvergecastMax aggregates max(values) at the tree root and returns
+// ConvergecastMax aggregates max(values) at the tree root and returns
 // (max, witness).
 func ConvergecastMax(g *graph.Graph, info *PreInfo, values, witnesses []int, opts ...Option) (int, int, Metrics, error) {
-	nw, err := NewNetwork(g, func(v int) Node {
+	topo, err := NewTopology(g)
+	if err != nil {
+		return 0, 0, Metrics{}, err
+	}
+	return ConvergecastMaxOn(topo, info, values, witnesses, opts...)
+}
+
+// ConvergecastMaxOn is ConvergecastMax on an already-built topology.
+func ConvergecastMaxOn(topo *Topology, info *PreInfo, values, witnesses []int, opts ...Option) (int, int, Metrics, error) {
+	nw := NewNetworkOn(topo, func(v int) Node {
 		w := v
 		if witnesses != nil {
 			w = witnesses[v]
 		}
 		return NewConvergecastMaxNode(info.Parent[v], info.Children[v], values[v], w)
 	}, opts...)
-	if err != nil {
-		return 0, 0, Metrics{}, err
-	}
-	if err := nw.Run(4*g.N() + 16); err != nil {
+	if err := nw.Run(4*topo.N() + 16); err != nil {
 		return 0, 0, nw.Metrics(), fmt.Errorf("convergecast: %w", err)
 	}
 	root := nw.Node(info.Leader).(*ConvergecastMaxNode)

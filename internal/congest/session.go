@@ -1,0 +1,290 @@
+package congest
+
+// This file implements execution sessions: the machinery that lets the
+// quantum algorithms run the same CONGEST program family hundreds of times
+// (one Evaluation per Grover iteration, Theorem 7) without rebuilding the
+// network each time. A Topology caches everything derived from the graph; a
+// Session owns a network plus a persistent engine and exposes Reset + Run;
+// a Pool clones session-backed contexts to run independent executions
+// concurrently with deterministic result ordering. DESIGN.md ("Execution
+// sessions") documents the lifecycle contract and the determinism argument.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qcongest/internal/graph"
+)
+
+// Topology is the validated, read-only view of a graph that networks and
+// sessions execute on: the connectivity check has passed and the sorted
+// adjacency tables are cached, so building any number of networks on the
+// same Topology never re-scans the graph. A Topology is immutable after
+// construction and safe to share across sessions, engines and Pool clones.
+type Topology struct {
+	g         *graph.Graph
+	n         int
+	neighbors [][]int
+}
+
+// NewTopology validates g (it must be connected, like every algorithm in
+// this repository assumes) and caches its adjacency tables.
+func NewTopology(g *graph.Graph) (*Topology, error) {
+	if !g.Connected() {
+		return nil, graph.ErrDisconnected
+	}
+	n := g.N()
+	t := &Topology{g: g, n: n, neighbors: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		// Neighbors sorts the adjacency list on first use; after this loop
+		// the graph is never mutated again.
+		t.neighbors[v] = g.Neighbors(v)
+	}
+	return t, nil
+}
+
+// N returns the number of vertices.
+func (t *Topology) N() int { return t.n }
+
+// Graph returns the underlying graph (read-only by convention).
+func (t *Topology) Graph() *graph.Graph { return t.g }
+
+// Neighbors returns the sorted adjacency list of v; it must not be modified.
+func (t *Topology) Neighbors(v int) []int { return t.neighbors[v] }
+
+// Degree returns the degree of v.
+func (t *Topology) Degree(v int) int { return len(t.neighbors[v]) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (t *Topology) HasEdge(u, v int) bool { return t.g.HasEdge(u, v) }
+
+// Resettable is the lifecycle contract a node program implements to be
+// reusable across executions: ResetNode must restore the program at vertex v
+// to exactly the state its constructor produced, so that a Session run after
+// Reset is bit-for-bit identical to a run on freshly constructed programs.
+// params carries the execution parameters that change between runs (e.g. a
+// new walk start, a new tau' assignment); it is the single value passed to
+// Session.Reset, shared by all vertices, and each program documents the
+// params type it understands. A nil params re-runs the previous
+// configuration; a non-nil params of a type the program does not understand
+// is a programmer error and panics (a silently ignored params would re-run
+// stale inputs and report a wrong result with no failure anywhere).
+type Resettable interface {
+	Node
+	ResetNode(v int, params any)
+}
+
+// badResetParams reports a Reset params value of an unexpected type — a
+// programmer error (like registering a message kind twice), not a runtime
+// condition.
+func badResetParams(prog string, params any) {
+	panic(fmt.Sprintf("congest: %s.ResetNode: unexpected params type %T", prog, params))
+}
+
+// Session owns one network together with a persistent execution engine.
+// Where NewNetwork + Run build topology tables, node programs, arenas,
+// buffers and a worker pool per execution, a Session builds them once and
+// recycles all of them: Reset restores the node programs (and zeroes the
+// metrics), Run executes on the retained engine. A Reset+Run is bit-for-bit
+// identical — outputs, Metrics, observer wire traces, error strings — to
+// building a fresh network and running it, for every worker count; the
+// session-reuse determinism tests assert exactly that.
+//
+// A Session is not safe for concurrent use; clone it (see Pool) to run
+// independent executions in parallel. Close releases the engine's worker
+// goroutines; a session that was never Run has nothing to release.
+type Session struct {
+	nw       *Network
+	makeNode func(v int) Node
+	opts     []Option
+
+	e      *engine
+	ran    bool // an execution has run since the last Reset
+	vetted bool // all node programs are known to implement Resettable
+	closed bool
+}
+
+// NewSession builds a session for the program family make over topo. The
+// node programs are constructed once, here; every later execution reuses
+// them via Reset.
+func NewSession(topo *Topology, make func(v int) Node, opts ...Option) *Session {
+	return &Session{
+		nw:       NewNetworkOn(topo, make, opts...),
+		makeNode: make,
+		opts:     opts,
+	}
+}
+
+// Reset prepares the session for the next execution: every node program is
+// restored to its constructed state (receiving params, see Resettable) and
+// the metrics are zeroed. It fails if any program does not implement
+// Resettable.
+func (s *Session) Reset(params any) error {
+	if s.closed {
+		return fmt.Errorf("congest: Reset on a closed session")
+	}
+	if !s.vetted {
+		for v, nd := range s.nw.nodes {
+			if _, ok := nd.(Resettable); !ok {
+				return fmt.Errorf("congest: session node %d (%T) does not implement Resettable", v, nd)
+			}
+		}
+		s.vetted = true
+	}
+	for v, nd := range s.nw.nodes {
+		nd.(Resettable).ResetNode(v, params)
+	}
+	s.nw.metrics = Metrics{}
+	s.ran = false
+	return nil
+}
+
+// Run executes one full run on the persistent engine (creating it on first
+// use). Every execution after the first must be preceded by a Reset: the
+// node programs hold the previous run's final state, and executing them
+// again would not correspond to any fresh network.
+func (s *Session) Run(maxRounds int) error {
+	if s.closed {
+		return fmt.Errorf("congest: Run on a closed session")
+	}
+	if s.ran {
+		return fmt.Errorf("congest: session re-run without Reset")
+	}
+	s.ran = true
+	if s.e == nil {
+		s.e = newEngine(s.nw)
+	}
+	return s.e.execute(maxRounds)
+}
+
+// Node returns the program running at vertex v (for Reset-time
+// configuration beyond params, and for extracting outputs after a run).
+func (s *Session) Node(v int) Node { return s.nw.nodes[v] }
+
+// Metrics returns the metrics of the execution since the last Reset.
+func (s *Session) Metrics() Metrics { return s.nw.metrics }
+
+// Topology returns the shared topology the session executes on.
+func (s *Session) Topology() *Topology { return s.nw.topo }
+
+// Clone builds an independent session of the same program family: same
+// topology (shared, never copied), same options, freshly constructed node
+// programs and a private engine. Clones may run concurrently with each
+// other and with the original — with one caveat: the options are reused as
+// given, so a WithObserver callback is shared by every clone and must be
+// safe for concurrent use (or the observing session must not be pooled).
+func (s *Session) Clone() *Session {
+	return NewSession(s.nw.topo, s.makeNode, s.opts...)
+}
+
+// Close stops the engine's worker goroutines. The session cannot run again
+// afterwards. Close is idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.e != nil {
+		s.e.stop()
+		s.e = nil
+	}
+}
+
+// Pool runs independent executions concurrently on a fixed set of cloned
+// execution contexts (typically Session-backed evaluators). Jobs are
+// distributed dynamically over the clones, but results are keyed by job
+// index and errors are reported for the smallest failing index, so the
+// outcome is deterministic regardless of scheduling — the property the
+// parallel experiment sweeps and the batched quantum evaluations rely on.
+type Pool[C any] struct {
+	clones []C
+}
+
+// NewPool builds a pool of `workers` contexts, each produced by factory
+// (factory receives the clone index). On a factory error the contexts
+// already built are NOT closed — the caller owns cleanup via Close.
+func NewPool[C any](workers int, factory func(i int) (C, error)) (*Pool[C], error) {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool[C]{clones: make([]C, 0, workers)}
+	for i := 0; i < workers; i++ {
+		c, err := factory(i)
+		if err != nil {
+			return p, err
+		}
+		p.clones = append(p.clones, c)
+	}
+	return p, nil
+}
+
+// Size returns the number of clones.
+func (p *Pool[C]) Size() int { return len(p.clones) }
+
+// Get returns clone i (for using one of the contexts outside Do, e.g. as
+// the sequential evaluator; never concurrently with a running Do).
+func (p *Pool[C]) Get(i int) C { return p.clones[i] }
+
+// Do runs fn(job, clone) for every job in [0, jobs). Each clone executes at
+// most one job at a time, so fn may freely mutate its clone; distinct jobs
+// must write their results to distinct caller-owned slots (e.g. results[job]).
+// All jobs are attempted — for every pool size, including one clone — and
+// the returned error is the one reported for the smallest job index.
+func (p *Pool[C]) Do(jobs int, fn func(job int, clone C) error) error {
+	if len(p.clones) == 0 {
+		return fmt.Errorf("congest: Do on an empty or closed pool")
+	}
+	if jobs <= 0 {
+		return nil
+	}
+	if len(p.clones) == 1 {
+		var first error
+		for j := 0; j < jobs; j++ {
+			if err := fn(j, p.clones[0]); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := range p.clones {
+		wg.Add(1)
+		go func(c C) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
+				errs[j] = fn(j, c)
+			}
+		}(p.clones[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close applies close to every clone (for Session-backed contexts, their
+// Close methods). The pool cannot be used afterwards.
+func (p *Pool[C]) Close(close func(C)) {
+	for _, c := range p.clones {
+		close(c)
+	}
+	p.clones = nil
+}
+
+// ForEach runs fn(job) for every job in [0, jobs) on up to `workers`
+// goroutines, with the Pool's determinism contract: all jobs attempted for
+// every worker count, smallest-index error returned.
+func ForEach(workers, jobs int, fn func(job int) error) error {
+	p, _ := NewPool(workers, func(int) (struct{}, error) { return struct{}{}, nil })
+	return p.Do(jobs, func(job int, _ struct{}) error { return fn(job) })
+}

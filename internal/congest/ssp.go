@@ -105,6 +105,24 @@ func NewMinFloodNode(member bool) *MinFloodNode {
 	return &MinFloodNode{Member: member, Dist: -1, Src: -1}
 }
 
+// FloodMembers is the Reset params of a min-flood session: the membership
+// flags of the next execution.
+type FloodMembers struct{ Members []bool }
+
+// ResetNode implements Resettable.
+func (m *MinFloodNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case FloodMembers:
+		m.Member = p.Members[v]
+	default:
+		badResetParams("MinFloodNode", params)
+	}
+	m.Dist, m.Src = -1, -1
+	m.pending = false
+	m.started = false
+}
+
 // Send implements Node.
 func (m *MinFloodNode) Send(env *Env, out *Outbox) {
 	if !m.started {
@@ -162,6 +180,24 @@ type ConvergecastSumNode struct {
 // NewConvergecastSumNode builds the program for one node.
 func NewConvergecastSumNode(parent int, children []int, value int) *ConvergecastSumNode {
 	return &ConvergecastSumNode{Parent: parent, Children: append([]int(nil), children...), Value: value, Sum: value}
+}
+
+// SumInputs is the Reset params of a sum-convergecast session: the
+// per-vertex input values of the next execution.
+type SumInputs struct{ Values []int }
+
+// ResetNode implements Resettable.
+func (c *ConvergecastSumNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case SumInputs:
+		c.Value = p.Values[v]
+	default:
+		badResetParams("ConvergecastSumNode", params)
+	}
+	c.Sum = c.Value
+	c.received = 0
+	c.sent = false
 }
 
 // Send implements Node.
@@ -223,6 +259,30 @@ func NewSSPNode(rank, sources, duration int) *SSPNode {
 		n.queue = append(n.queue, msgPair{Src: rank, Dist: 0})
 	}
 	return n
+}
+
+// SSPRanks is the Reset params of a multi-source BFS session: the
+// per-vertex source rank (-1 for non-sources) of the next execution.
+type SSPRanks struct{ Ranks []int }
+
+// ResetNode implements Resettable. The Dist map is dropped, not cleared:
+// the previous run's output escapes into the SourceMax phase, and a session
+// must never mutate results it already handed out.
+func (s *SSPNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case SSPRanks:
+		s.Rank = p.Ranks[v]
+	default:
+		badResetParams("SSPNode", params)
+	}
+	s.Dist = map[int]int{}
+	s.queue = s.queue[:0]
+	s.finished = false
+	if s.Rank >= 0 {
+		s.Dist[s.Rank] = 0
+		s.queue = append(s.queue, msgPair{Src: s.Rank, Dist: 0})
+	}
 }
 
 // Send implements Node.
@@ -314,6 +374,27 @@ func NewSourceMaxNode(parent int, children []int, depth, d, sources int, dist ma
 		m.Max[src] = dd
 	}
 	return m
+}
+
+// SourceDists is the Reset params of a per-source max-convergecast session:
+// Dists[v] is vertex v's source-distance map for the next execution.
+type SourceDists struct{ Dists []map[int]int }
+
+// ResetNode implements Resettable. The Max map is rebuilt (the previous
+// run's root output may have escaped to the caller).
+func (s *SourceMaxNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case SourceDists:
+		s.Dist = p.Dists[v]
+	default:
+		badResetParams("SourceMaxNode", params)
+	}
+	s.Max = make(map[int]int, s.Sources)
+	for src, dd := range s.Dist {
+		s.Max[src] = dd
+	}
+	s.finished = false
 }
 
 // Send implements Node.

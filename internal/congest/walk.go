@@ -65,6 +65,28 @@ func NewTokenWalkNode(parent int, children []int, root, start, steps int) *Token
 	}
 }
 
+// WalkStart is the Reset params of a token-walk session: the vertex the
+// next execution's walk begins at.
+type WalkStart struct{ Start int }
+
+// ResetNode implements Resettable: the program returns to its constructed
+// state, optionally rebasing the walk at params.(WalkStart).Start.
+func (t *TokenWalkNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case WalkStart:
+		t.Start = p.Start
+	default:
+		badResetParams("TokenWalkNode", params)
+	}
+	t.Tau = -1
+	t.holding = false
+	t.arrived = 0
+	t.from = -1
+	t.rounds = 0
+	t.finished = false
+}
+
 // Send implements Node.
 func (t *TokenWalkNode) Send(env *Env, out *Outbox) {
 	if env.ID == t.Start && env.Round == 1 {

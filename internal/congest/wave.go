@@ -74,6 +74,28 @@ func NewWaveNode(inS bool, tauPrime, duration int) *WaveNode {
 	return &WaveNode{InS: inS, TauPrime: tauPrime, Duration: duration, TV: -1}
 }
 
+// WaveTau is the Reset params of a wave session: the tau' assignment of the
+// next execution (Tau[v] >= 0 iff v is in S and initiates a wave).
+type WaveTau struct{ Tau []int }
+
+// ResetNode implements Resettable: the program returns to its constructed
+// state, optionally taking its membership and tau' from params.(WaveTau).
+func (w *WaveNode) ResetNode(v int, params any) {
+	switch p := params.(type) {
+	case nil:
+	case WaveTau:
+		w.InS = p.Tau[v] >= 0
+		w.TauPrime = p.Tau[v]
+	default:
+		badResetParams("WaveNode", params)
+	}
+	w.TV = -1
+	w.DV = 0
+	w.Violation = nil
+	w.pending = nil
+	w.finished = false
+}
+
 // Send implements Node.
 func (w *WaveNode) Send(env *Env, out *Outbox) {
 	// Figure 2 Step 2(2): initiate own wave exactly at (relative) round

@@ -14,7 +14,13 @@
 //
 // Every Evaluation is executed as a real message-passing CONGEST program
 // (internal/congest) whose round count is measured, and the quantum layer
-// charges rounds per Theorem 7 (internal/qcongest).
+// charges rounds per Theorem 7 (internal/qcongest). Each algorithm builds
+// its walk/wave sessions once (congest.WalkSession, congest.EccSession) and
+// every Evaluation is a Reset+Run on them — bit-identical to fresh
+// networks, without rebuilding topology tables, programs or arenas per
+// execution. Options.Parallel > 1 clones the sessions into a congest.Pool
+// and runs independent Evaluations concurrently; results are identical for
+// any value.
 package core
 
 import (
@@ -37,6 +43,9 @@ type Result struct {
 	Rounds int
 	// InitRounds, SetupRounds and EvalRounds are the measured costs of the
 	// three framework operations (Evaluation: one classical execution).
+	// InitRounds covers every preparatory distributed phase the algorithm
+	// ran, including (for ApproxDiameter) the probe preprocessing that
+	// chooses the sample size s.
 	InitRounds  int
 	SetupRounds int
 	EvalRounds  int
@@ -56,6 +65,12 @@ type Options struct {
 	// S overrides the sample size of ApproxDiameter (default
 	// n^{2/3} / d^{1/3} per Theorem 4).
 	S int
+	// Parallel is the number of cloned evaluation contexts used to run
+	// independent Evaluations concurrently (<= 1: one context, sequential).
+	// Evaluations are deterministic and their values input-independent, so
+	// the computed Result is identical for every value; the knob only
+	// trades wall-clock time, like congest.WithWorkers.
+	Parallel int
 	// Engine configures every CONGEST execution the algorithm performs
 	// (e.g. congest.WithWorkers). Results are engine-independent: the
 	// parallel engine is deterministic, so Engine only affects wall-clock
@@ -83,13 +98,25 @@ func trivialDiameter(g *graph.Graph) (Result, error) {
 	return Result{}, errTrivial
 }
 
+// evalContext is one independent Evaluation context: the sessions backing
+// eval share no mutable state with any other context, so distinct contexts
+// may evaluate concurrently (each one still evaluates serially).
+type evalContext struct {
+	eval  func(u0 int) (value, rounds int, err error)
+	close func()
+}
+
 // ExactDiameterSimple runs the Section 3.1 algorithm: quantum maximum
 // finding over f(u) = ecc(u) with P_opt >= 1/n, giving Õ(sqrt(n)·D) rounds.
 func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
-	info, pre, err := congest.Preprocess(g, opts.Engine...)
+	topo, err := congest.NewTopology(g)
+	if err != nil {
+		return Result{}, err
+	}
+	info, pre, err := congest.PreprocessOn(topo, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -98,24 +125,41 @@ func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 
 	// Evaluation for input u0: a single wave from u0 (a scheduled BFS)
 	// followed by a convergecast of max dv to the leader — the Section 3.1
-	// procedure "build BFS(u0), converge-cast ecc(u0)".
+	// procedure "build BFS(u0), converge-cast ecc(u0)". The wave and
+	// convergecast sessions are built once per context; each eval resets
+	// them with the tau assignment where only u0 initiates (tau' = 0).
 	waveDuration := 2*d + 1
-	eval := func(u0 int) (int, int, error) {
-		tau := singleInitiator(n, u0)
-		value, m, err := congest.EccentricitiesOf(g, info, tau, waveDuration, opts.Engine...)
-		if err != nil {
-			return 0, 0, err
+	newCtx := func() *evalContext {
+		ecc := congest.NewEccSession(topo, info, waveDuration, opts.Engine...)
+		tau := make([]int, n)
+		for i := range tau {
+			tau[i] = -1
 		}
-		return value, m.Rounds, nil
+		last := -1
+		return &evalContext{
+			eval: func(u0 int) (int, int, error) {
+				if last >= 0 {
+					tau[last] = -1
+				}
+				tau[u0], last = 0, u0
+				value, m, err := ecc.Eval(tau)
+				if err != nil {
+					return 0, 0, err
+				}
+				return value, m.Rounds, nil
+			},
+			close: ecc.Close,
+		}
 	}
 
-	return runOptimization(g, info, eval, optimizationParams{
+	return runOptimization(newCtx, optimizationParams{
 		domain:      identityDomain(n),
 		eps:         1 / float64(n),
 		delta:       opts.delta(),
 		seed:        opts.Seed,
 		initRounds:  pre.Rounds,
 		setupRounds: d + 1,
+		parallel:    opts.Parallel,
 	})
 }
 
@@ -126,7 +170,11 @@ func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
-	info, pre, err := congest.Preprocess(g, opts.Engine...)
+	topo, err := congest.NewTopology(g)
+	if err != nil {
+		return Result{}, err
+	}
+	info, pre, err := congest.PreprocessOn(topo, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -136,30 +184,39 @@ func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
 	// Evaluation for input u0 is exactly Figure 2: a 2d-step DFS walk from
 	// u0 assigning tau', the 6d-round wave process over S(u0), and the
 	// bottom-up max convergecast. All three phases have input-independent
-	// round counts.
-	eval := func(u0 int) (int, int, error) {
-		tau, mWalk, err := congest.TokenWalk(g, info, info.Children, u0, 2*d, opts.Engine...)
-		if err != nil {
-			return 0, 0, err
+	// round counts. The walk and wave sessions are built once per context
+	// and every eval(u0) is a Reset+Run.
+	newCtx := func() *evalContext {
+		walk := congest.NewWalkSession(topo, info, info.Children, 2*d, opts.Engine...)
+		ecc := congest.NewEccSession(topo, info, 6*d+2, opts.Engine...)
+		return &evalContext{
+			eval: func(u0 int) (int, int, error) {
+				tau, mWalk, err := walk.Eval(u0)
+				if err != nil {
+					return 0, 0, err
+				}
+				value, mRest, err := ecc.Eval(tau)
+				if err != nil {
+					return 0, 0, err
+				}
+				return value, mWalk.Rounds + mRest.Rounds, nil
+			},
+			close: func() { walk.Close(); ecc.Close() },
 		}
-		value, mRest, err := congest.EccentricitiesOf(g, info, tau, 6*d+2, opts.Engine...)
-		if err != nil {
-			return 0, 0, err
-		}
-		return value, mWalk.Rounds + mRest.Rounds, nil
 	}
 
 	eps := float64(d) / (2 * float64(n)) // Lemma 1
 	if eps > 1 {
 		eps = 1
 	}
-	return runOptimization(g, info, eval, optimizationParams{
+	return runOptimization(newCtx, optimizationParams{
 		domain:      identityDomain(n),
 		eps:         eps,
 		delta:       opts.delta(),
 		seed:        opts.Seed,
 		initRounds:  pre.Rounds,
 		setupRounds: d + 1,
+		parallel:    opts.Parallel,
 	})
 }
 
@@ -173,11 +230,17 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
+	topo, err := congest.NewTopology(g)
+	if err != nil {
+		return Result{}, err
+	}
 	n := g.N()
 
 	// Choose s = n^{2/3} d^{-1/3} using the free 2-approximation
-	// d = ecc(leader); a preliminary Preprocess supplies d.
-	infoProbe, _, err := congest.Preprocess(g, opts.Engine...)
+	// d = ecc(leader); a preliminary Preprocess supplies d. The probe is a
+	// real distributed phase, so its rounds are charged to InitRounds
+	// below, together with the preparation's.
+	infoProbe, probeM, err := congest.PreprocessOn(topo, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -193,7 +256,7 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 		s = n
 	}
 
-	prep, preM, err := congest.PrepareApprox(g, s, opts.Seed, opts.Engine...)
+	prep, preM, err := congest.PrepareApproxOn(topo, s, opts.Seed, opts.Engine...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -229,32 +292,40 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 		}
 	}
 
-	eval := func(u0 int) (int, int, error) {
-		if !prep.RMembers[u0] {
-			return 0, 0, fmt.Errorf("core: evaluation input %d outside R", u0)
+	newCtx := func() *evalContext {
+		walk := congest.NewWalkSession(topo, wInfo, prep.RChild, window, opts.Engine...)
+		ecc := congest.NewEccSession(topo, wInfo, waveDuration, opts.Engine...)
+		return &evalContext{
+			eval: func(u0 int) (int, int, error) {
+				if !prep.RMembers[u0] {
+					return 0, 0, fmt.Errorf("core: evaluation input %d outside R", u0)
+				}
+				tau, mWalk, err := walk.Eval(u0)
+				if err != nil {
+					return 0, 0, err
+				}
+				value, mRest, err := ecc.Eval(tau)
+				if err != nil {
+					return 0, 0, err
+				}
+				return value, mWalk.Rounds + mRest.Rounds, nil
+			},
+			close: func() { walk.Close(); ecc.Close() },
 		}
-		tau, mWalk, err := congest.TokenWalk(g, wInfo, prep.RChild, u0, window, opts.Engine...)
-		if err != nil {
-			return 0, 0, err
-		}
-		value, mRest, err := congest.EccentricitiesOf(g, wInfo, tau, waveDuration, opts.Engine...)
-		if err != nil {
-			return 0, 0, err
-		}
-		return value, mWalk.Rounds + mRest.Rounds, nil
 	}
 
 	eps := float64(d) / (2 * float64(prep.RSize))
 	if eps > 1 {
 		eps = 1
 	}
-	return runOptimization(g, wInfo, eval, optimizationParams{
+	return runOptimization(newCtx, optimizationParams{
 		domain:      domain,
 		eps:         eps,
 		delta:       opts.delta(),
 		seed:        opts.Seed,
-		initRounds:  preM.Rounds,
+		initRounds:  probeM.Rounds + preM.Rounds,
 		setupRounds: tStar + 1, // broadcast down the R-subtree
+		parallel:    opts.Parallel,
 	})
 }
 
@@ -265,17 +336,43 @@ type optimizationParams struct {
 	seed        int64
 	initRounds  int
 	setupRounds int
+	parallel    int
 }
 
-func runOptimization(g *graph.Graph, info *congest.PreInfo, eval qcongest.EvalProc, p optimizationParams) (Result, error) {
+func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, error) {
+	parallel := p.parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	pool, _ := congest.NewPool(parallel, func(int) (*evalContext, error) { return newCtx(), nil })
+	defer pool.Close(func(c *evalContext) { c.close() })
+
 	opt := &qcongest.Optimizer{
 		Domain:      p.domain,
-		Evaluate:    eval,
+		Evaluate:    pool.Get(0).eval,
 		InitRounds:  p.initRounds,
 		SetupRounds: p.setupRounds,
 		Eps:         p.eps,
 		Delta:       p.delta,
 		Rng:         rand.New(rand.NewSource(p.seed)),
+	}
+	if parallel > 1 {
+		// Precompute every domain value on the pool. The amplification then
+		// runs entirely against the memoized table; since evaluations are
+		// deterministic, the Result is the one sequential evaluation yields.
+		opt.Batch = func(domain []int) ([]int, []int, error) {
+			values := make([]int, len(domain))
+			rounds := make([]int, len(domain))
+			err := pool.Do(len(domain), func(j int, c *evalContext) error {
+				v, r, err := c.eval(domain[j])
+				if err != nil {
+					return fmt.Errorf("evaluate %d: %w", domain[j], err)
+				}
+				values[j], rounds[j] = v, r
+				return nil
+			})
+			return values, rounds, err
+		}
 	}
 	qr, err := opt.Run()
 	if err != nil {
@@ -299,15 +396,4 @@ func identityDomain(n int) []int {
 		d[i] = i
 	}
 	return d
-}
-
-// singleInitiator builds a tau assignment where only u0 initiates a wave,
-// at relative round 1 (tau' = 0).
-func singleInitiator(n, u0 int) []int {
-	tau := make([]int, n)
-	for i := range tau {
-		tau[i] = -1
-	}
-	tau[u0] = 0
-	return tau
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"qcongest/internal/congest"
@@ -221,5 +222,44 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if (Options{Delta: 0.3}).delta() != 0.3 {
 		t.Error("explicit delta ignored")
+	}
+}
+
+// The ApproxDiameter accounting bug fix: the probe Preprocess that chooses
+// the sample size s is a real distributed phase, so its rounds must be
+// charged to InitRounds together with the [HPRW14] preparation's. The test
+// reconstructs both phases independently and checks the sum.
+func TestApproxProbeRoundsCharged(t *testing.T) {
+	g := graph.RandomConnected(80, 0.07, 3)
+	const seed = int64(3)
+
+	infoProbe, probeM, err := congest.Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probeM.Rounds <= 0 {
+		t.Fatal("probe preprocessing reported no rounds")
+	}
+	// Replicate ApproxDiameter's default sample-size rule.
+	n := g.N()
+	s := int(math.Ceil(math.Pow(float64(n), 2.0/3.0) / math.Pow(math.Max(1, float64(infoProbe.D)), 1.0/3.0)))
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	_, prepM, err := congest.PrepareApprox(g, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ApproxDiameter(g, Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := probeM.Rounds + prepM.Rounds; res.InitRounds != want {
+		t.Errorf("InitRounds = %d, want probe %d + preparation %d = %d",
+			res.InitRounds, probeM.Rounds, prepM.Rounds, want)
 	}
 }

@@ -57,6 +57,59 @@ func TestQuantumApproxDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// Options.Parallel clones the evaluation sessions into a pool and batches
+// the domain; because evaluations are deterministic and input-independent,
+// the Result — value, rounds, every counter — must be identical to the
+// sequential execution for any parallelism level, alone or combined with
+// engine workers.
+func TestQuantumParallelEvaluationDeterministic(t *testing.T) {
+	g := graph.RandomConnected(96, 0.06, 6)
+	want, err := ExactDiameter(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4} {
+		got, err := ExactDiameter(g, Options{Seed: 6, Parallel: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("parallel %d: Result %+v, want %+v", par, got, want)
+		}
+	}
+	got, err := ExactDiameter(g, Options{Seed: 6, Parallel: 3, Engine: []congest.Option{congest.WithWorkers(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("parallel 3 + workers 2: Result %+v, want %+v", got, want)
+	}
+
+	wantSimple, err := ExactDiameterSimple(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSimple, err := ExactDiameterSimple(g, Options{Seed: 6, Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSimple != wantSimple {
+		t.Errorf("simple, parallel 3: Result %+v, want %+v", gotSimple, wantSimple)
+	}
+
+	wantApprox, err := ApproxDiameter(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotApprox, err := ApproxDiameter(g, Options{Seed: 6, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotApprox != wantApprox {
+		t.Errorf("approx, parallel 4: Result %+v, want %+v", gotApprox, wantApprox)
+	}
+}
+
 // Every CONGEST execution a quantum algorithm drives — preprocessing,
 // walks, waves, convergecasts, the [HPRW14] preparation — runs clean under
 // strict wire accounting: the documented size formula of every message the

@@ -53,10 +53,44 @@ func (s Series) Slope(x func(Point) float64) float64 {
 	return (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
 }
 
+// runTrials executes `trials` independent runs of run (each trial gets its
+// own derived seed inside run), spreading them over up to `parallel`
+// goroutines, and folds the per-trial results in trial order — so the
+// returned Point is identical for every parallelism level.
+func runTrials(trials, parallel int, run func(tr int) (core.Result, error)) (rounds int, lastDiam int, hits func(ok func(int) bool) int, err error) {
+	results := make([]core.Result, trials)
+	err = congest.ForEach(parallel, trials, func(tr int) error {
+		res, err := run(tr)
+		if err != nil {
+			return err
+		}
+		results[tr] = res
+		return nil
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	total := 0
+	for _, r := range results {
+		total += r.Rounds
+	}
+	return total / trials, results[trials-1].Diameter, func(ok func(int) bool) int {
+		h := 0
+		for _, r := range results {
+			if ok(r.Diameter) {
+				h++
+			}
+		}
+		return h
+	}, nil
+}
+
 // ExactComparison measures the Table 1 "Exact computation" row: classical
 // Theta(n) vs quantum Õ(sqrt(nD)) rounds on constant-diameter graphs of
-// increasing size. trials averages the randomized quantum cost.
-func ExactComparison(sizes []int, diameter int, trials int, seed int64, engine ...congest.Option) (classical, quantum Series, err error) {
+// increasing size. trials averages the randomized quantum cost; parallel
+// runs that many trials concurrently (<= 1: sequential) with results folded
+// in trial order, so the measured series are identical for every value.
+func ExactComparison(sizes []int, diameter int, trials int, seed int64, parallel int, engine ...congest.Option) (classical, quantum Series, err error) {
 	classical.Name = "classical exact (PRT12)"
 	quantum.Name = "quantum exact (Theorem 1)"
 	for _, n := range sizes {
@@ -76,54 +110,48 @@ func ExactComparison(sizes []int, diameter int, trials int, seed int64, engine .
 			N: n, D: want, Rounds: cres.Metrics.Rounds,
 			Diameter: cres.Diameter, OK: cres.Diameter == want,
 		})
-		totalRounds, hits, lastDiam := 0, 0, 0
-		for tr := 0; tr < trials; tr++ {
-			qres, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
-			if err != nil {
-				return classical, quantum, err
-			}
-			totalRounds += qres.Rounds
-			lastDiam = qres.Diameter
-			if qres.Diameter == want {
-				hits++
-			}
+		rounds, lastDiam, hits, err := runTrials(trials, parallel, func(tr int) (core.Result, error) {
+			return core.ExactDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
+		})
+		if err != nil {
+			return classical, quantum, err
 		}
 		quantum.Points = append(quantum.Points, Point{
-			N: n, D: want, Rounds: totalRounds / trials,
-			Diameter: lastDiam, OK: hits*2 > trials,
+			N: n, D: want, Rounds: rounds,
+			Diameter: lastDiam, OK: hits(func(d int) bool { return d == want })*2 > trials,
 		})
 	}
 	return classical, quantum, nil
 }
 
 // DiameterSweep measures quantum exact rounds as D grows with n fixed,
-// exposing the sqrt(D) factor of Theorem 1.
-func DiameterSweep(n int, diameters []int, trials int, seed int64, engine ...congest.Option) (Series, error) {
+// exposing the sqrt(D) factor of Theorem 1. parallel runs up to that many
+// trials concurrently, with deterministic result folding.
+func DiameterSweep(n int, diameters []int, trials int, seed int64, parallel int, engine ...congest.Option) (Series, error) {
 	s := Series{Name: "quantum exact vs D"}
 	for _, d := range diameters {
 		g, err := graph.LollipopWithDiameter(n, d)
 		if err != nil {
 			return s, err
 		}
-		total, hits, last := 0, 0, 0
-		for tr := 0; tr < trials; tr++ {
-			res, err := core.ExactDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
-			if err != nil {
-				return s, err
-			}
-			total += res.Rounds
-			last = res.Diameter
-			if res.Diameter == d {
-				hits++
-			}
+		rounds, last, hits, err := runTrials(trials, parallel, func(tr int) (core.Result, error) {
+			return core.ExactDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
+		})
+		if err != nil {
+			return s, err
 		}
-		s.Points = append(s.Points, Point{N: n, D: d, Rounds: total / trials, Diameter: last, OK: hits*2 > trials})
+		s.Points = append(s.Points, Point{
+			N: n, D: d, Rounds: rounds, Diameter: last,
+			OK: hits(func(got int) bool { return got == d })*2 > trials,
+		})
 	}
 	return s, nil
 }
 
-// ApproxComparison measures the Table 1 "3/2-approximation" row.
-func ApproxComparison(sizes []int, diameter int, trials int, seed int64, engine ...congest.Option) (classical, quantum Series, err error) {
+// ApproxComparison measures the Table 1 "3/2-approximation" row. parallel
+// runs up to that many trials concurrently, with deterministic result
+// folding.
+func ApproxComparison(sizes []int, diameter int, trials int, seed int64, parallel int, engine ...congest.Option) (classical, quantum Series, err error) {
 	classical.Name = "classical 3/2-approx (HPRW14)"
 	quantum.Name = "quantum 3/2-approx (Theorem 4)"
 	for _, n := range sizes {
@@ -143,23 +171,22 @@ func ApproxComparison(sizes []int, diameter int, trials int, seed int64, engine 
 			N: n, D: want, Rounds: cres.Metrics.Rounds, Diameter: cres.Diameter,
 			OK: approxOK(cres.Diameter, want),
 		})
-		total, hits, last := 0, 0, 0
-		for tr := 0; tr < trials; tr++ {
-			qres, err := core.ApproxDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
-			if err != nil {
-				return classical, quantum, err
-			}
-			total += qres.Rounds
-			last = qres.Diameter
-			if approxOK(qres.Diameter, want) {
-				hits++
-			}
+		rounds, last, hits, err := runTrials(trials, parallel, func(tr int) (core.Result, error) {
+			return core.ApproxDiameter(g, core.Options{Seed: seed + int64(tr), Engine: engine})
+		})
+		if err != nil {
+			return classical, quantum, err
 		}
 		quantum.Points = append(quantum.Points, Point{
-			N: n, D: want, Rounds: total / trials, Diameter: last, OK: hits*2 > trials,
+			N: n, D: want, Rounds: rounds, Diameter: last,
+			OK: hits(approxOKFor(want))*2 > trials,
 		})
 	}
 	return classical, quantum, nil
+}
+
+func approxOKFor(diam int) func(int) bool {
+	return func(estimate int) bool { return approxOK(estimate, diam) }
 }
 
 func approxOK(estimate, diam int) bool {

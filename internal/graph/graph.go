@@ -11,14 +11,23 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is a simple undirected graph on vertices 0..N-1 stored as sorted
 // adjacency lists. The zero value is an empty graph with no vertices.
+//
+// Construction (AddVertex, AddEdge) is single-goroutine; once construction
+// is done, any number of goroutines may read the graph concurrently — the
+// lazy adjacency sort behind Neighbors/BFS is synchronized, so e.g.
+// independent sessions or parallel experiment trials can share one graph.
 type Graph struct {
-	adj    [][]int
-	edges  int
-	sorted bool
+	adj   [][]int
+	edges int
+
+	sorted atomic.Bool
+	sortMu sync.Mutex
 }
 
 // New returns an empty graph with n vertices and no edges.
@@ -55,7 +64,7 @@ func (g *Graph) AddEdge(u, v int) error {
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.edges++
-	g.sorted = false
+	g.sorted.Store(false)
 	return nil
 }
 
@@ -71,6 +80,16 @@ func (g *Graph) MustAddEdge(u, v int) {
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.adj) {
 		return false
+	}
+	// The element scan must not race with another reader's lazy in-place
+	// sort. Once the graph is sorted the atomic fast path applies (the
+	// engine's per-message validation lands here); before that — i.e.
+	// during construction, where AddEdge's duplicate check calls this per
+	// edge — take the sort mutex rather than ensureSorted, which would
+	// re-sort the whole graph on every probe.
+	if !g.sorted.Load() {
+		g.sortMu.Lock()
+		defer g.sortMu.Unlock()
 	}
 	for _, w := range g.adj[u] {
 		if w == v {
@@ -91,18 +110,27 @@ func (g *Graph) Neighbors(u int) []int {
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
 func (g *Graph) ensureSorted() {
-	if g.sorted {
+	if g.sorted.Load() {
+		return
+	}
+	g.sortMu.Lock()
+	defer g.sortMu.Unlock()
+	if g.sorted.Load() {
 		return
 	}
 	for _, a := range g.adj {
 		sort.Ints(a)
 	}
-	g.sorted = true
+	g.sorted.Store(true)
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges, sorted: g.sorted}
+	// Sort first (synchronized): the element copy below must not race with
+	// another reader's lazy in-place sort.
+	g.ensureSorted()
+	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges}
+	c.sorted.Store(true)
 	for i, a := range g.adj {
 		c.adj[i] = append([]int(nil), a...)
 	}

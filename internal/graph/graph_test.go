@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -311,4 +312,44 @@ func TestDistance(t *testing.T) {
 	if err != nil || d != 1 {
 		t.Errorf("Distance(0,7) = %d,%v want 1,nil", d, err)
 	}
+}
+
+// After construction, a graph must be safely readable from many goroutines
+// at once — including the very first reads, which trigger the lazy
+// adjacency sort (parallel experiment trials share one graph). Run with
+// -race this is the regression test for the synchronized sort.
+func TestConcurrentReadsAfterConstruction(t *testing.T) {
+	g := RandomConnected(200, 0.03, 12)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !g.Connected() {
+				t.Error("graph not connected")
+			}
+			dist, _ := g.BFS(0)
+			if len(dist) != g.N() {
+				t.Errorf("BFS returned %d distances", len(dist))
+			}
+			nb := g.Neighbors(5)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] >= nb[i] {
+					t.Error("neighbors not sorted")
+					return
+				}
+			}
+			// Clone and HasEdge read adjacency elements too; they must be
+			// safe against a concurrent first-read sort.
+			if c := g.Clone(); c.M() != g.M() {
+				t.Errorf("clone has %d edges, want %d", c.M(), g.M())
+			}
+			for _, w := range nb {
+				if !g.HasEdge(5, w) {
+					t.Errorf("edge {5,%d} missing", w)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -61,6 +61,17 @@ type Optimizer struct {
 	// application: compute, copy out, uncompute = 2x classical + 1. A zero
 	// value selects that default.
 	EvalOverhead func(classicalRounds int) int
+	// Batch, when non-nil, computes the value and measured round count of
+	// every domain input up front (values[i], rounds[i] for Domain[i]) and
+	// the amplification then runs entirely against the memoized table.
+	// Because evaluations are deterministic and their round counts
+	// input-independent, the optimization trajectory — and hence the Result
+	// and all cost accounting — is identical to calling Evaluate lazily;
+	// the point of Batch is that its independent executions may run
+	// concurrently (core backs it with a congest.Pool of cloned sessions).
+	// The black-box application counts of Theorem 7 are charged by the
+	// amplification schedule either way, so Batch does not change Rounds.
+	Batch func(domain []int) (values, rounds []int, err error)
 	// Eps lower-bounds the probability mass of maximizers under the
 	// uniform initial state (the paper's P_opt bound, e.g. d/2n).
 	Eps float64
@@ -130,6 +141,28 @@ func (o *Optimizer) Run() (Result, error) {
 		}
 		values[x] = v
 		return v
+	}
+
+	// Batched mode: fill the memo table for the whole domain before the
+	// amplification starts, enforcing the same round-uniformity contract.
+	if o.Batch != nil {
+		vals, rounds, err := o.Batch(o.Domain)
+		if err != nil {
+			return res, err
+		}
+		if len(vals) != len(o.Domain) || len(rounds) != len(o.Domain) {
+			return res, fmt.Errorf("qcongest: Batch returned %d values and %d round counts for %d inputs",
+				len(vals), len(rounds), len(o.Domain))
+		}
+		for i, x := range o.Domain {
+			values[x] = vals[i]
+			if classicalRounds == -1 {
+				classicalRounds = rounds[i]
+			} else if rounds[i] != classicalRounds {
+				return res, fmt.Errorf("%w: %d rounds for input %d, %d before",
+					ErrInconsistentRounds, rounds[i], x, classicalRounds)
+			}
+		}
 	}
 
 	phi, err := qsim.NewUniform(o.Domain)

@@ -142,3 +142,91 @@ func TestCustomOverhead(t *testing.T) {
 		t.Errorf("overhead not honored: %d", res.EvalApplicationRounds)
 	}
 }
+
+// Batch precomputes the memoized value table; since evaluation values and
+// round counts are input-independent-deterministic, the Result must be
+// identical to lazy sequential evaluation for the same Rng seed.
+func TestOptimizerBatchMatchesSequential(t *testing.T) {
+	eval := func(x int) (int, int, error) {
+		return (x * 7) % 53, 9, nil
+	}
+	newOpt := func(seed int64) *Optimizer {
+		return &Optimizer{
+			Domain:      domain(64),
+			Evaluate:    eval,
+			InitRounds:  4,
+			SetupRounds: 2,
+			Eps:         1.0 / 64,
+			Delta:       0.1,
+			Rng:         rand.New(rand.NewSource(seed)),
+		}
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		want, err := newOpt(seed).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched := newOpt(seed)
+		calls := 0
+		batched.Batch = func(dom []int) ([]int, []int, error) {
+			calls++
+			vals := make([]int, len(dom))
+			rounds := make([]int, len(dom))
+			for i, x := range dom {
+				vals[i], rounds[i], _ = eval(x)
+			}
+			return vals, rounds, nil
+		}
+		got, err := batched.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: batched Result %+v, want %+v", seed, got, want)
+		}
+		if calls != 1 {
+			t.Errorf("seed %d: Batch called %d times", seed, calls)
+		}
+	}
+}
+
+// A Batch whose round counts differ across inputs must fail with
+// ErrInconsistentRounds, like lazy evaluation would.
+func TestOptimizerBatchInconsistentRounds(t *testing.T) {
+	opt := &Optimizer{
+		Domain:   domain(8),
+		Evaluate: func(x int) (int, int, error) { return x, 5, nil },
+		Batch: func(dom []int) ([]int, []int, error) {
+			vals := make([]int, len(dom))
+			rounds := make([]int, len(dom))
+			for i, x := range dom {
+				vals[i] = x
+				rounds[i] = 5 + i%2
+			}
+			return vals, rounds, nil
+		},
+		Eps:   0.5,
+		Delta: 0.1,
+		Rng:   rand.New(rand.NewSource(1)),
+	}
+	if _, err := opt.Run(); !errors.Is(err, ErrInconsistentRounds) {
+		t.Errorf("error = %v, want ErrInconsistentRounds", err)
+	}
+}
+
+// A Batch returning the wrong shape is a programming error, reported.
+func TestOptimizerBatchShapeError(t *testing.T) {
+	opt := &Optimizer{
+		Domain:   domain(8),
+		Evaluate: func(x int) (int, int, error) { return x, 5, nil },
+		Batch: func(dom []int) ([]int, []int, error) {
+			return make([]int, 3), make([]int, 3), nil
+		},
+		Eps:   0.5,
+		Delta: 0.1,
+		Rng:   rand.New(rand.NewSource(1)),
+	}
+	if _, err := opt.Run(); err == nil {
+		t.Error("short Batch result accepted")
+	}
+}

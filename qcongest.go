@@ -24,6 +24,13 @@
 // (WithWorkers, WithBandwidth, WithStrictAccounting) are accepted by every
 // classical entry point and by the Engine field of QuantumOptions.
 //
+// Repeated executions run on sessions (CongestTopology, CongestSession,
+// Pool): the network is built once and every further run is a
+// Reset-and-rerun on recycled state, bit-identical to a fresh build.
+// The quantum algorithms amortize all per-Evaluation setup this way, and
+// QuantumOptions.Parallel batches independent Evaluations onto cloned
+// sessions concurrently — deterministically, like every other knob.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results versus the paper's claims.
 package qcongest
@@ -123,6 +130,48 @@ type (
 	// MessageKind tags a wire-message type; kinds 16..31 are free for
 	// external programs.
 	MessageKind = congest.Kind
+)
+
+// Execution sessions: the reusable-harness layer. A CongestTopology caches
+// everything derived from a graph (validated once, shared freely); a
+// CongestSession builds a network and its engine once and re-runs it via
+// Reset — bit-for-bit identical to a fresh network, for every worker count
+// — which is how the quantum algorithms amortize setup over the hundreds
+// of Evaluations an optimization performs; a Pool clones session-backed
+// contexts to run independent executions concurrently with deterministic
+// result ordering. See DESIGN.md, "Execution sessions".
+type (
+	// CongestTopology is the validated, shareable view of a graph.
+	CongestTopology = congest.Topology
+	// CongestSession is a build-once, reset-and-rerun network.
+	CongestSession = congest.Session
+	// CongestResettable is the lifecycle contract reusable node programs
+	// implement (ResetNode must restore the constructed state).
+	CongestResettable = congest.Resettable
+)
+
+// Pool runs independent jobs concurrently on cloned execution contexts;
+// results are keyed by job index and the error reported is the one at the
+// smallest failing index, so outcomes are deterministic regardless of
+// scheduling.
+type Pool[C any] = congest.Pool[C]
+
+// NewPool builds a pool of `workers` contexts produced by factory.
+func NewPool[C any](workers int, factory func(i int) (C, error)) (*Pool[C], error) {
+	return congest.NewPool(workers, factory)
+}
+
+// Session helpers.
+var (
+	// NewCongestTopology validates a graph and caches its adjacency tables.
+	NewCongestTopology = congest.NewTopology
+	// NewCongestSession builds a reusable session of node programs.
+	NewCongestSession = congest.NewSession
+	// NewCongestNetworkOn builds a one-shot network on a cached topology.
+	NewCongestNetworkOn = congest.NewNetworkOn
+	// ParallelForEach runs jobs on up to `workers` goroutines with the
+	// Pool's determinism contract.
+	ParallelForEach = congest.ForEach
 )
 
 // Wire-format helpers.

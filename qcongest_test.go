@@ -197,3 +197,112 @@ func TestPublicWireFormat(t *testing.T) {
 		t.Errorf("node %d saw hop count %d, want %d", n-1, got, n-1)
 	}
 }
+
+// ResetNode makes pingNode reusable: a public-API program opts into
+// sessions by implementing CongestResettable.
+func (p *pingNode) ResetNode(v int, params any) {
+	p.holding = false
+	p.hops = 0
+	p.done = false
+}
+
+// Execution sessions work end to end through the public facade: build the
+// topology and session once, Reset+Run repeatedly with identical results,
+// and fan independent executions out over a Pool.
+func TestPublicSessionAPI(t *testing.T) {
+	const n = 8
+	g := Cycle(n)
+	topo, err := NewCongestTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCongestNetwork(g, func(v int) CongestNode { return &pingNode{id: v} }, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Run(4 * n); err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Metrics()
+
+	s := NewCongestSession(topo, func(v int) CongestNode { return &pingNode{id: v} }, WithWorkers(2))
+	defer s.Close()
+	for rep := 0; rep < 3; rep++ {
+		if err := s.Reset(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(4 * n); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Metrics(); got != want {
+			t.Errorf("rep %d: session metrics %+v, want %+v", rep, got, want)
+		}
+		if got := s.Node(n - 1).(*pingNode).hops; got != n-1 {
+			t.Errorf("rep %d: hop count %d, want %d", rep, got, n-1)
+		}
+	}
+
+	pool, err := NewPool(3, func(int) (*CongestSession, error) {
+		return s.Clone(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close(func(c *CongestSession) { c.Close() })
+	metrics := make([]CongestMetrics, 9)
+	if err := pool.Do(len(metrics), func(j int, c *CongestSession) error {
+		if err := c.Reset(nil); err != nil {
+			return err
+		}
+		if err := c.Run(4 * n); err != nil {
+			return err
+		}
+		metrics[j] = c.Metrics()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for j, m := range metrics {
+		if m != want {
+			t.Errorf("pool job %d: metrics %+v, want %+v", j, m, want)
+		}
+	}
+	if err := ParallelForEach(2, 4, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Theorem 10 transcript — the encoded bits crossing the cut, captured
+// through the observer — must be bit-identical across worker counts and
+// across repeated runs: the session refactor must not perturb the
+// lower-bound machinery's canonical traces.
+func TestTheorem10TranscriptStableAcrossWorkersAndRuns(t *testing.T) {
+	red, err := NewHW12Reduction(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x, y := RandomIntersectingPair(red.K, rng)
+	ref, err := TwoPartyFromCongest(red, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.CutBits == 0 {
+		t.Fatal("reference transcript is empty")
+	}
+	for _, k := range []int{1, 2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			got, err := TwoPartyFromCongest(red, x, y, WithWorkers(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Disj != ref.Disj || got.Rounds != ref.Rounds || got.CutBits != ref.CutBits {
+				t.Fatalf("workers %d rep %d: (disj %d, rounds %d, bits %d), want (%d, %d, %d)",
+					k, rep, got.Disj, got.Rounds, got.CutBits, ref.Disj, ref.Rounds, ref.CutBits)
+			}
+			if got.Transcript.String() != ref.Transcript.String() {
+				t.Fatalf("workers %d rep %d: transcript bits differ", k, rep)
+			}
+		}
+	}
+}
