@@ -835,3 +835,172 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// --- Distance-parameter suite benchmark: BENCH_suite.json. ---
+//
+// The suite generalizes the Figure 2 Evaluation from "one number (the
+// diameter)" to radius, per-vertex eccentricities and weighted parameters;
+// its hot loop is the same Evaluation the session layer amortizes. This
+// benchmark records what session batching buys the Eccentricities workload:
+// per-Evaluation cost with fresh networks vs reused sessions on path/1024,
+// and a full Eccentricities vector sequential vs Pool-batched.
+
+// BenchmarkEccSuite is the CI allocation canary for the suite: one full
+// quantum Eccentricities vector (one warm Evaluation per vertex on reused
+// sessions) per iteration.
+func BenchmarkEccSuite(b *testing.B) {
+	g := Path(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Eccentricities(g, QuantumOptions{Seed: 1, Engine: []EngineOption{WithWorkers(1)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Ecc) != g.N() {
+			b.Fatalf("ecc vector length %d", len(res.Ecc))
+		}
+	}
+}
+
+type suiteBenchFile struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Workload    string `json:"workload"`
+	Note        string `json:"note"`
+	Eval        struct {
+		Graph            string  `json:"graph"`
+		N                int     `json:"n"`
+		Evals            int     `json:"evals_measured"`
+		FreshAllocsPerEv float64 `json:"fresh_allocs_per_eval"`
+		FreshEvalsPerSec float64 `json:"fresh_evals_per_sec"`
+		SessAllocsPerEv  float64 `json:"session_allocs_per_eval"`
+		SessEvalsPerSec  float64 `json:"session_evals_per_sec"`
+		AllocReduction   float64 `json:"alloc_reduction_factor"`
+	} `json:"eccentricity_evaluation_path_n1024"`
+	FullVector struct {
+		Graph               string  `json:"graph"`
+		N                   int     `json:"n"`
+		Rounds              int     `json:"rounds"`
+		SeqAllocsPerRun     float64 `json:"sequential_allocs_per_run"`
+		SeqWallSeconds      float64 `json:"sequential_wall_seconds"`
+		BatchedAllocsPerRun float64 `json:"batched_allocs_per_run"`
+		BatchedWallSeconds  float64 `json:"batched_wall_seconds"`
+		BatchWorkers        int     `json:"batch_workers"`
+	} `json:"eccentricities_vector_path_n256"`
+}
+
+// TestWriteSuiteBench regenerates BENCH_suite.json. It is too slow for the
+// default test run, so it is gated:
+//
+//	QCONGEST_BENCH_SUITE=1 go test -run TestWriteSuiteBench -timeout 30m
+func TestWriteSuiteBench(t *testing.T) {
+	if os.Getenv("QCONGEST_BENCH_SUITE") == "" {
+		t.Skip("set QCONGEST_BENCH_SUITE=1 to measure and write BENCH_suite.json")
+	}
+	out := suiteBenchFile{
+		GeneratedBy: "QCONGEST_BENCH_SUITE=1 go test -run TestWriteSuiteBench",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workload: "single-vertex eccentricity Evaluation (2d+1 wave + max convergecast) per eval, " +
+			"and one full core.Eccentricities vector",
+		Note: "fresh = a new network per phase per Evaluation (congest.EccentricitiesOf); session = " +
+			"one congest.EccSession Reset+Run per Evaluation — the batching core.Eccentricities uses. " +
+			"Values are bit-identical either way; only setup cost differs. The full-vector rows compare " +
+			"Options.Parallel=1 against a Pool of NumCPU cloned sessions (identical output, " +
+			"TestQuantumSuiteMatchesClassicalOracle); on a 1-CPU host the two coincide and only the " +
+			"per-eval session-vs-fresh comparison carries information.",
+	}
+
+	// Per-eval costs on path/1024: the Section 3.1 Evaluation that Radius
+	// and Eccentricities run per vertex.
+	g := Path(1024)
+	topo, err := NewCongestTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := congest.PreprocessOn(topo, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+	tau := make([]int, g.N())
+	setTau := func(u0 int) {
+		for i := range tau {
+			tau[i] = -1
+		}
+		tau[u0] = 0
+	}
+	const evals = 4
+	freshAllocs, freshRate := sessionEvalCost(t, g.N(), evals, func(u0 int) {
+		setTau(u0)
+		if _, _, err := congest.EccentricitiesOf(g, info, tau, 2*d+1, WithWorkers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ecc := congest.NewEccSession(topo, info, 2*d+1, WithWorkers(1))
+	defer ecc.Close()
+	warm := func(u0 int) {
+		setTau(u0)
+		if _, _, err := ecc.Eval(tau); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm(1)
+	sessAllocs, sessRate := sessionEvalCost(t, g.N(), evals, warm)
+	ev := &out.Eval
+	ev.Graph, ev.N, ev.Evals = "path", g.N(), evals
+	ev.FreshAllocsPerEv, ev.FreshEvalsPerSec = freshAllocs, freshRate
+	ev.SessAllocsPerEv, ev.SessEvalsPerSec = sessAllocs, sessRate
+	if sessAllocs > 0 {
+		ev.AllocReduction = freshAllocs / sessAllocs
+	}
+	t.Logf("ecc eval path/1024: fresh %.0f allocs/eval %.2f evals/s; session %.1f allocs/eval %.2f evals/s (%.0fx fewer allocs)",
+		freshAllocs, freshRate, sessAllocs, sessRate, ev.AllocReduction)
+
+	// Full eccentricity vector on path/256, sequential vs batched sessions.
+	g256 := Path(256)
+	var res EccentricitiesResult
+	seqAllocs := testing.AllocsPerRun(1, func() {
+		r, err := Eccentricities(g256, QuantumOptions{Seed: 1, Engine: []EngineOption{WithWorkers(1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	start := time.Now()
+	if _, err := Eccentricities(g256, QuantumOptions{Seed: 1, Engine: []EngineOption{WithWorkers(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	seqWall := time.Since(start).Seconds()
+	batchWorkers := runtime.NumCPU()
+	batchedAllocs := testing.AllocsPerRun(1, func() {
+		r, err := Eccentricities(g256, QuantumOptions{Seed: 1, Parallel: batchWorkers, Engine: []EngineOption{WithWorkers(1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Ecc) != len(res.Ecc) {
+			t.Fatal("batched vector length differs")
+		}
+	})
+	start = time.Now()
+	if _, err := Eccentricities(g256, QuantumOptions{Seed: 1, Parallel: batchWorkers, Engine: []EngineOption{WithWorkers(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	fv := &out.FullVector
+	fv.Graph, fv.N, fv.Rounds = "path", g256.N(), res.Rounds
+	fv.SeqAllocsPerRun, fv.SeqWallSeconds = seqAllocs, seqWall
+	fv.BatchedAllocsPerRun, fv.BatchedWallSeconds = batchedAllocs, time.Since(start).Seconds()
+	fv.BatchWorkers = batchWorkers
+	t.Logf("full vector path/256: sequential %.0f allocs %.2fs; batched(%d) %.0f allocs %.2fs",
+		seqAllocs, seqWall, batchWorkers, batchedAllocs, fv.BatchedWallSeconds)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_suite.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_suite.json")
+}

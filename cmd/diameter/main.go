@@ -1,16 +1,19 @@
-// Command diameter runs one diameter algorithm on a generated network and
-// prints the result with its measured round complexity.
+// Command diameter runs one distance-parameter algorithm on a generated
+// network and prints the result with its measured round complexity.
 //
 // Usage:
 //
 //	diameter -graph random -n 60 -algo quantum-exact -seed 3
 //	diameter -graph lollipop -n 80 -d 5 -algo classical-exact
+//	diameter -graph random -n 40 -param radius -weighted -maxw 8
+//	diameter -graph random -n 40 -param ecc -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"qcongest"
 )
@@ -28,7 +31,10 @@ func run() error {
 		n        = flag.Int("n", 40, "number of vertices")
 		d        = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
 		p        = flag.Float64("p", 0.1, "edge probability (random)")
-		algo     = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx")
+		algo     = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx (diameter only; see -param)")
+		param    = flag.String("param", "diameter", "distance parameter: diameter|radius|ecc")
+		weighted = flag.Bool("weighted", false, "assign uniform random edge weights in [1, maxw] and compute the weighted parameter")
+		maxw     = flag.Int("maxw", 8, "largest edge weight used by -weighted")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
 		parallel = flag.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
@@ -40,12 +46,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	truth, err := g.Diameter()
-	if err != nil {
-		return err
+	if *weighted {
+		g = qcongest.WithWeights(g, *maxw, *seed)
+		truth, err := g.WeightedDiameter()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph=%s n=%d m=%d weighted=true maxw=%d true-weighted-diameter=%d\n",
+			*kind, g.N(), g.M(), *maxw, truth)
+	} else {
+		truth, err := g.Diameter()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph=%s n=%d m=%d weighted=false true-diameter=%d\n", *kind, g.N(), g.M(), truth)
 	}
-	fmt.Printf("graph=%s n=%d m=%d true-diameter=%d\n", *kind, g.N(), g.M(), truth)
 
+	if *param != "diameter" {
+		return runParam(g, *param, *weighted, *seed, *parallel, engine)
+	}
+	if *weighted {
+		return runWeightedDiameter(g, *seed, *parallel, engine)
+	}
 	switch *algo {
 	case "classical-exact":
 		res, err := qcongest.ClassicalExactDiameter(g, engine...)
@@ -79,6 +101,75 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+	return nil
+}
+
+// runParam dispatches the non-diameter entries of the distance-parameter
+// suite (-param radius|ecc), printing the quantum result against the
+// sequential oracle.
+func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parallel int, engine []qcongest.EngineOption) error {
+	qopts := qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Engine: engine}
+	switch param {
+	case "radius":
+		var truth int
+		var err error
+		if weighted {
+			truth, err = g.WeightedRadius()
+		} else {
+			truth, err = g.Radius()
+		}
+		if err != nil {
+			return err
+		}
+		res, err := qcongest.Radius(g, qopts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("quantum radius: radius=%d true-radius=%d rounds=%d iterations=%d eval-rounds=%d\n",
+			res.Diameter, truth, res.Rounds, res.Iterations, res.EvalRounds)
+	case "ecc":
+		res, err := qcongest.Eccentricities(g, qopts)
+		if err != nil {
+			return err
+		}
+		var truth []int
+		if weighted {
+			truth, err = g.WeightedAllEccentricities()
+		} else {
+			truth, err = g.AllEccentricities()
+		}
+		if err != nil {
+			return err
+		}
+		match := len(truth) == len(res.Ecc)
+		for v := range res.Ecc {
+			match = match && res.Ecc[v] == truth[v]
+		}
+		lo, hi := 0, 0
+		if len(res.Ecc) > 0 {
+			lo, hi = slices.Min(res.Ecc), slices.Max(res.Ecc)
+		}
+		fmt.Printf("quantum eccentricities: n=%d match-oracle=%v rounds=%d eval-rounds=%d min=%d max=%d\n",
+			len(res.Ecc), match, res.Rounds, res.EvalRounds, lo, hi)
+	default:
+		return fmt.Errorf("unknown parameter %q (want diameter, radius or ecc)", param)
+	}
+	return nil
+}
+
+// runWeightedDiameter handles -weighted with the default -param diameter:
+// the quantum weighted diameter against the Dijkstra oracle.
+func runWeightedDiameter(g *qcongest.Graph, seed int64, parallel int, engine []qcongest.EngineOption) error {
+	truth, err := g.WeightedDiameter()
+	if err != nil {
+		return err
+	}
+	res, err := qcongest.WeightedDiameter(g, qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Engine: engine})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quantum weighted diameter: diameter=%d true-weighted-diameter=%d rounds=%d iterations=%d eval-rounds=%d\n",
+		res.Diameter, truth, res.Rounds, res.Iterations, res.EvalRounds)
 	return nil
 }
 

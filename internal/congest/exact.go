@@ -39,28 +39,7 @@ func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error)
 	if err != nil {
 		return res, err
 	}
-	info, m, err := PreprocessOn(topo, opts...)
-	if err != nil {
-		return res, err
-	}
-	res.Metrics.Add(m)
-
-	// Full Euler tour: every vertex receives tau = its DFS number.
-	tourLen := 2 * (n - 1)
-	tau, m, err := TokenWalkOn(topo, info, info.Children, info.Leader, tourLen, opts...)
-	if err != nil {
-		return res, err
-	}
-	res.Metrics.Add(m)
-	for v, t := range tau {
-		if t < 0 {
-			return res, fmt.Errorf("congest: vertex %d missed by full DFS walk", v)
-		}
-	}
-
-	// Wave phase: last initiation at 2*tourLen, propagation <= 2d.
-	duration := 2*tourLen + 2*info.D + 2
-	dv, m, err := Wave(g, tau, duration, opts...)
+	info, dv, m, err := classicalEccPhases(topo, opts...)
 	if err != nil {
 		return res, err
 	}
@@ -74,6 +53,65 @@ func ClassicalExactDiameter(g *graph.Graph, opts ...Option) (ExactResult, error)
 	res.Metrics.Add(m)
 	res.Diameter = diam
 	return res, nil
+}
+
+// classicalEccPhases runs the [PRT12] pipeline up to (and including) the
+// wave phase: preprocessing, the full Euler tour that DFS-numbers every
+// vertex, and the all-initiator wave process. After it, dv[v] = max_u d(u,v)
+// = ecc(v) at every node — the shared core of ClassicalExactDiameter and
+// ClassicalEccentricities.
+func classicalEccPhases(topo *Topology, opts ...Option) (*PreInfo, []int, Metrics, error) {
+	var total Metrics
+	n := topo.N()
+	info, m, err := PreprocessOn(topo, opts...)
+	if err != nil {
+		return nil, nil, total, err
+	}
+	total.Add(m)
+
+	// Full Euler tour: every vertex receives tau = its DFS number.
+	tourLen := 2 * (n - 1)
+	tau, m, err := TokenWalkOn(topo, info, info.Children, info.Leader, tourLen, opts...)
+	if err != nil {
+		return nil, nil, total, err
+	}
+	total.Add(m)
+	for v, t := range tau {
+		if t < 0 {
+			return nil, nil, total, fmt.Errorf("congest: vertex %d missed by full DFS walk", v)
+		}
+	}
+
+	// Wave phase: last initiation at 2*tourLen, propagation <= 2d.
+	duration := 2*tourLen + 2*info.D + 2
+	dv, m, err := WaveOn(topo, tau, duration, opts...)
+	if err != nil {
+		return nil, nil, total, err
+	}
+	total.Add(m)
+	return info, dv, total, nil
+}
+
+// ClassicalEccentricities computes ecc(v) for every vertex in Theta(n)
+// rounds: when every vertex initiates a wave (the full Euler tour's tau
+// numbering), each node's dv is max_u d(u, v), which by symmetry of d is
+// exactly its own eccentricity — the whole vector falls out of one
+// ClassicalExactDiameter run without the final convergecast. It is the
+// classical baseline for the per-vertex quantum Eccentricities suite.
+func ClassicalEccentricities(g *graph.Graph, opts ...Option) ([]int, Metrics, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, Metrics{}, fmt.Errorf("congest: empty graph")
+	}
+	if n == 1 {
+		return []int{0}, Metrics{}, nil
+	}
+	topo, err := NewTopology(g)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	_, dv, m, err := classicalEccPhases(topo, opts...)
+	return dv, m, err
 }
 
 // EccentricitiesOf computes, for a set S given as tau' assignments

@@ -126,17 +126,23 @@ func TokenWalkOn(topo *Topology, info *PreInfo, children [][]int, start, steps i
 // marked in tau (tau[v] >= 0 means v in S with tau'(v) = tau[v]) and
 // returns each node's dv.
 func Wave(g *graph.Graph, tau []int, duration int, opts ...Option) ([]int, Metrics, error) {
-	nw, err := NewNetwork(g, func(v int) Node {
-		return NewWaveNode(tau[v] >= 0, tau[v], duration)
-	}, opts...)
+	topo, err := NewTopology(g)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
+	return WaveOn(topo, tau, duration, opts...)
+}
+
+// WaveOn is Wave on an already-built topology.
+func WaveOn(topo *Topology, tau []int, duration int, opts ...Option) ([]int, Metrics, error) {
+	nw := NewNetworkOn(topo, func(v int) Node {
+		return NewWaveNode(tau[v] >= 0, tau[v], duration)
+	}, opts...)
 	if err := nw.Run(duration + 4); err != nil {
 		return nil, nw.Metrics(), fmt.Errorf("wave process: %w", err)
 	}
-	dv := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
+	dv := make([]int, topo.N())
+	for v := 0; v < topo.N(); v++ {
 		wn := nw.Node(v).(*WaveNode)
 		if wn.Violation != nil {
 			return nil, nw.Metrics(), wn.Violation

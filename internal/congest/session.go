@@ -26,20 +26,30 @@ type Topology struct {
 	g         *graph.Graph
 	n         int
 	neighbors [][]int
+	weights   [][]int // aligned with neighbors; nil for unweighted graphs
+	maxW      int
 }
 
 // NewTopology validates g (it must be connected, like every algorithm in
-// this repository assumes) and caches its adjacency tables.
+// this repository assumes) and caches its adjacency tables (and, for
+// weighted graphs, the aligned edge-weight tables).
 func NewTopology(g *graph.Graph) (*Topology, error) {
 	if !g.Connected() {
 		return nil, graph.ErrDisconnected
 	}
 	n := g.N()
-	t := &Topology{g: g, n: n, neighbors: make([][]int, n)}
+	t := &Topology{g: g, n: n, neighbors: make([][]int, n), maxW: 1}
 	for v := 0; v < n; v++ {
 		// Neighbors sorts the adjacency list on first use; after this loop
 		// the graph is never mutated again.
 		t.neighbors[v] = g.Neighbors(v)
+	}
+	if g.Weighted() {
+		t.weights = make([][]int, n)
+		for v := 0; v < n; v++ {
+			t.weights[v] = g.NeighborWeights(v)
+		}
+		t.maxW = g.MaxWeight()
 	}
 	return t, nil
 }
@@ -58,6 +68,31 @@ func (t *Topology) Degree(v int) int { return len(t.neighbors[v]) }
 
 // HasEdge reports whether {u, v} is an edge.
 func (t *Topology) HasEdge(u, v int) bool { return t.g.HasEdge(u, v) }
+
+// Weighted reports whether the underlying graph carries edge weights.
+func (t *Topology) Weighted() bool { return t.weights != nil }
+
+// NeighborWeights returns the edge weights aligned with Neighbors(v), or nil
+// for an unweighted topology (all weights 1); it must not be modified.
+func (t *Topology) NeighborWeights(v int) []int {
+	if t.weights == nil {
+		return nil
+	}
+	return t.weights[v]
+}
+
+// MaxWeight returns the largest edge weight (1 when unweighted).
+func (t *Topology) MaxWeight() int { return t.maxW }
+
+// DistBound returns the largest possible finite weighted distance,
+// (n-1) * MaxWeight: every weighted wire field that carries a distance is
+// sized to cover [0, DistBound].
+func (t *Topology) DistBound() int {
+	if t.n <= 1 {
+		return 0
+	}
+	return (t.n - 1) * t.maxW
+}
 
 // Resettable is the lifecycle contract a node program implements to be
 // reusable across executions: ResetNode must restore the program at vertex v

@@ -46,6 +46,8 @@ const (
 	KindPair           // ssp.go: (src rank, dist) multi-source BFS pair
 	KindSrcMax         // ssp.go: (src rank, subtree max) pipelined convergecast
 	KindRaw            // wire.go: opaque filler of a declared width (tests, capacity probes)
+	KindWDist          // weighted.go: Bellman–Ford weighted-distance relaxation
+	KindWMax           // weighted.go: weighted max convergecast (value, witness)
 )
 
 // WireMessage is a message that can be encoded to and decoded from the wire
@@ -274,9 +276,18 @@ func (r *Reader) ReadUint(width int) uint64 {
 	return v
 }
 
-// ReadID consumes an id field written by WriteID with the same bound.
+// ReadID consumes an id field written by WriteID with the same bound. A
+// decoded value outside [0, bound) is a decoding error — an honest encoder
+// cannot produce it (WriteID validates the range), so it proves the payload
+// is corrupt; reporting it here means malformed messages surface as Decode
+// errors instead of leaking out-of-range ids into programs.
 func (r *Reader) ReadID(bound int) int {
-	return int(r.ReadUint(BitsForID(bound)))
+	v := int(r.ReadUint(BitsForID(bound)))
+	if r.err == nil && v >= bound {
+		r.err = fmt.Errorf("congest: decoded value %d out of id range [0,%d)", v, bound)
+		return 0
+	}
+	return v
 }
 
 // WireView is a read-only window onto one encoded message (kind tag

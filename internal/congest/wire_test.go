@@ -151,6 +151,8 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 		&msgPair{Src: 42, Dist: 150},
 		&msgSrcMax{Src: 42, Max: 150},
 		&RawMessage{Width: 17},
+		&msgWDist{Dist: 300, Bound: 450},
+		&msgWMax{Value: 301, Witness: 42, Bound: 450},
 	}
 	covered := map[Kind]bool{}
 	var w Writer
@@ -179,6 +181,15 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 			t.Errorf("%v: view decodes tag %v", k, view.Kind())
 		}
 		got := NewKindMessage(k)
+		// Bound-parameterized kinds (the weighted suite): the decoder is
+		// configured with the same bound as the encoder — in the programs it
+		// is per-node configuration known a priori, like n.
+		switch s := m.(type) {
+		case *msgWDist:
+			got.(*msgWDist).Bound = s.Bound
+		case *msgWMax:
+			got.(*msgWMax).Bound = s.Bound
+		}
 		var r Reader
 		view.payloadReader(&r, n)
 		got.UnmarshalWire(&r)

@@ -93,6 +93,11 @@ func trivialDiameter(g *graph.Graph) (Result, error) {
 	case 0, 1:
 		return Result{Diameter: 0}, nil
 	case 2:
+		// Two isolated vertices are the one disconnected case the
+		// topology validation below never sees.
+		if !g.HasEdge(0, 1) {
+			return Result{}, graph.ErrDisconnected
+		}
 		return Result{Diameter: 1}, nil
 	}
 	return Result{}, errTrivial
@@ -123,36 +128,7 @@ func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 	n := g.N()
 	d := info.D
 
-	// Evaluation for input u0: a single wave from u0 (a scheduled BFS)
-	// followed by a convergecast of max dv to the leader — the Section 3.1
-	// procedure "build BFS(u0), converge-cast ecc(u0)". The wave and
-	// convergecast sessions are built once per context; each eval resets
-	// them with the tau assignment where only u0 initiates (tau' = 0).
-	waveDuration := 2*d + 1
-	newCtx := func() *evalContext {
-		ecc := congest.NewEccSession(topo, info, waveDuration, opts.Engine...)
-		tau := make([]int, n)
-		for i := range tau {
-			tau[i] = -1
-		}
-		last := -1
-		return &evalContext{
-			eval: func(u0 int) (int, int, error) {
-				if last >= 0 {
-					tau[last] = -1
-				}
-				tau[u0], last = 0, u0
-				value, m, err := ecc.Eval(tau)
-				if err != nil {
-					return 0, 0, err
-				}
-				return value, m.Rounds, nil
-			},
-			close: ecc.Close,
-		}
-	}
-
-	return runOptimization(newCtx, optimizationParams{
+	return runOptimization(singleEccContext(topo, info, opts), optimizationParams{
 		domain:      identityDomain(n),
 		eps:         1 / float64(n),
 		delta:       opts.delta(),
@@ -337,6 +313,63 @@ type optimizationParams struct {
 	initRounds  int
 	setupRounds int
 	parallel    int
+	// minimize runs quantum minimum finding instead of maximum finding
+	// (Dürr–Høyer is symmetric: amplify over negated values). Used by the
+	// radius entry points; eps then bounds the mass of minimizers.
+	minimize bool
+}
+
+// singleEccContext is the Section 3.1 Evaluation: a single wave from u0 (a
+// scheduled BFS) followed by a convergecast of max dv to the leader —
+// "build BFS(u0), converge-cast ecc(u0)". The wave and convergecast sessions
+// are built once per context; each eval resets them with the tau assignment
+// where only u0 initiates (tau' = 0). It computes f(u0) = ecc(u0), the
+// objective of ExactDiameterSimple, Radius and Eccentricities.
+func singleEccContext(topo *congest.Topology, info *congest.PreInfo, opts Options) func() *evalContext {
+	n := topo.N()
+	waveDuration := 2*info.D + 1
+	return func() *evalContext {
+		ecc := congest.NewEccSession(topo, info, waveDuration, opts.Engine...)
+		tau := make([]int, n)
+		for i := range tau {
+			tau[i] = -1
+		}
+		last := -1
+		return &evalContext{
+			eval: func(u0 int) (int, int, error) {
+				if last >= 0 {
+					tau[last] = -1
+				}
+				tau[u0], last = 0, u0
+				value, m, err := ecc.Eval(tau)
+				if err != nil {
+					return 0, 0, err
+				}
+				return value, m.Rounds, nil
+			},
+			close: ecc.Close,
+		}
+	}
+}
+
+// weightedEccContext is the weighted Evaluation: one fixed-duration
+// Bellman–Ford relaxation from u0 plus a weighted max convergecast,
+// computing f(u0) = weighted ecc(u0). On an unweighted graph it degenerates
+// to hop eccentricities (all weights 1).
+func weightedEccContext(topo *congest.Topology, info *congest.PreInfo, opts Options) func() *evalContext {
+	return func() *evalContext {
+		ecc := congest.NewWeightedEccSession(topo, info, opts.Engine...)
+		return &evalContext{
+			eval: func(u0 int) (int, int, error) {
+				value, m, err := ecc.Eval(u0)
+				if err != nil {
+					return 0, 0, err
+				}
+				return value, m.Rounds, nil
+			},
+			close: ecc.Close,
+		}
+	}
 }
 
 func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, error) {
@@ -347,9 +380,17 @@ func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, 
 	pool, _ := congest.NewPool(parallel, func(int) (*evalContext, error) { return newCtx(), nil })
 	defer pool.Close(func(c *evalContext) { c.close() })
 
+	evaluate := pool.Get(0).eval
+	if p.minimize {
+		inner := evaluate
+		evaluate = func(u0 int) (int, int, error) {
+			v, r, err := inner(u0)
+			return -v, r, err
+		}
+	}
 	opt := &qcongest.Optimizer{
 		Domain:      p.domain,
-		Evaluate:    pool.Get(0).eval,
+		Evaluate:    evaluate,
 		InitRounds:  p.initRounds,
 		SetupRounds: p.setupRounds,
 		Eps:         p.eps,
@@ -368,6 +409,9 @@ func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, 
 				if err != nil {
 					return fmt.Errorf("evaluate %d: %w", domain[j], err)
 				}
+				if p.minimize {
+					v = -v
+				}
 				values[j], rounds[j] = v, r
 				return nil
 			})
@@ -378,8 +422,12 @@ func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	value := qr.Value
+	if p.minimize {
+		value = -value
+	}
 	return Result{
-		Diameter:     qr.Value,
+		Diameter:     value,
 		Rounds:       qr.Rounds,
 		InitRounds:   p.initRounds,
 		SetupRounds:  p.setupRounds,

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 
 	"qcongest/internal/congest"
@@ -191,6 +192,108 @@ func approxOKFor(diam int) func(int) bool {
 
 func approxOK(estimate, diam int) bool {
 	return estimate <= diam && 2*diam <= 3*(estimate+1)
+}
+
+// SuiteComparison measures the distance-parameter suite on one graph family
+// (lollipops of fixed diameter, like the Table 1 sweeps): for each size, the
+// quantum rounds of the diameter, radius, eccentricities-vector and weighted
+// diameter computations against their classical baselines. The weighted
+// variant assigns uniform weights in [1, maxW] (maxW <= 1 keeps all weights
+// 1). Every computed value is checked against the sequential graph oracle —
+// OK is false on any mismatch — so the sweep doubles as an end-to-end
+// cross-check. parallel batches independent evaluations (and trials) like
+// the other drivers, with results identical for every value.
+func SuiteComparison(sizes []int, diameter int, maxW int, seed int64, parallel int, engine ...congest.Option) ([]Series, error) {
+	series := []Series{
+		{Name: "classical exact diameter (PRT12)"},
+		{Name: "quantum diameter (Theorem 1)"},
+		{Name: "quantum radius (min-finding)"},
+		{Name: "classical eccentricities (PRT12 wave)"},
+		{Name: "quantum eccentricities (per-vertex evals)"},
+		{Name: "quantum weighted diameter (Bellman-Ford evals)"},
+	}
+	for _, n := range sizes {
+		g, err := graph.LollipopWithDiameter(n, diameter)
+		if err != nil {
+			return series, err
+		}
+		wantDiam, err := g.Diameter()
+		if err != nil {
+			return series, err
+		}
+		wantRad, err := g.Radius()
+		if err != nil {
+			return series, err
+		}
+		wantEcc, err := g.AllEccentricities()
+		if err != nil {
+			return series, err
+		}
+		wg := graph.WithWeights(g, maxW, seed)
+		wantWDiam, err := wg.WeightedDiameter()
+		if err != nil {
+			return series, err
+		}
+		opts := core.Options{Seed: seed, Parallel: parallel, Engine: engine}
+
+		cres, err := congest.ClassicalExactDiameter(g, engine...)
+		if err != nil {
+			return series, err
+		}
+		series[0].Points = append(series[0].Points, Point{
+			N: n, D: wantDiam, Rounds: cres.Metrics.Rounds,
+			Diameter: cres.Diameter, OK: cres.Diameter == wantDiam,
+		})
+
+		qd, err := core.ExactDiameter(g, opts)
+		if err != nil {
+			return series, err
+		}
+		series[1].Points = append(series[1].Points, Point{
+			N: n, D: wantDiam, Rounds: qd.Rounds, Diameter: qd.Diameter, OK: qd.Diameter == wantDiam,
+		})
+
+		qr, err := core.Radius(g, opts)
+		if err != nil {
+			return series, err
+		}
+		series[2].Points = append(series[2].Points, Point{
+			N: n, D: wantDiam, Rounds: qr.Rounds, Diameter: qr.Diameter, OK: qr.Diameter == wantRad,
+		})
+
+		ceccs, cm, err := congest.ClassicalEccentricities(g, engine...)
+		if err != nil {
+			return series, err
+		}
+		cOK := len(ceccs) == len(wantEcc)
+		for v := range ceccs {
+			cOK = cOK && ceccs[v] == wantEcc[v]
+		}
+		series[3].Points = append(series[3].Points, Point{
+			N: n, D: wantDiam, Rounds: cm.Rounds, Diameter: slices.Max(ceccs), OK: cOK,
+		})
+
+		qe, err := core.Eccentricities(g, opts)
+		if err != nil {
+			return series, err
+		}
+		qOK := len(qe.Ecc) == len(wantEcc)
+		for v := range qe.Ecc {
+			qOK = qOK && qe.Ecc[v] == wantEcc[v]
+		}
+		series[4].Points = append(series[4].Points, Point{
+			N: n, D: wantDiam, Rounds: qe.Rounds, Diameter: slices.Max(qe.Ecc), OK: qOK,
+		})
+
+		qw, err := core.WeightedDiameter(wg, opts)
+		if err != nil {
+			return series, err
+		}
+		series[5].Points = append(series[5].Points, Point{
+			N: n, D: wantDiam, Rounds: qw.Rounds, Diameter: qw.Diameter, OK: qw.Diameter == wantWDiam,
+		})
+	}
+	return series, nil
 }
 
 // Lemma1Coverage measures min over v of Pr[v in S(u0)] for uniform u0 and

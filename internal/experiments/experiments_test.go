@@ -138,3 +138,37 @@ func TestSweepParallelDeterministic(t *testing.T) {
 		t.Errorf("parallel diameter sweep differs from sequential")
 	}
 }
+
+// TestSuiteComparison drives the distance-parameter sweep end to end: every
+// point must match its oracle (the driver sets OK), and the parallel sweep
+// must reproduce the sequential one exactly.
+func TestSuiteComparison(t *testing.T) {
+	want, err := SuiteComparison([]int{20, 28}, 4, 6, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 6 {
+		t.Fatalf("series: %d, want 6", len(want))
+	}
+	for _, s := range want {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if !p.OK {
+				t.Errorf("%s: oracle mismatch at n=%d (got %d)", s.Name, p.N, p.Diameter)
+			}
+			if p.Rounds <= 0 {
+				t.Errorf("%s: no rounds at n=%d", s.Name, p.N)
+			}
+		}
+	}
+	got, err := SuiteComparison([]int{20, 28}, 4, 6, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parallel suite sweep differs from sequential:\n%vvs\n%v",
+			FormatTable(got...), FormatTable(want...))
+	}
+}

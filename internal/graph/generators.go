@@ -60,14 +60,23 @@ func Grid(rows, cols int) *Graph {
 	return g
 }
 
-// Torus returns the rows x cols torus (grid with wraparound), rows, cols >= 3.
+// Torus returns the rows x cols torus (grid with wraparound). For dimensions
+// below 3 the wraparound edge coincides with an existing edge (or is a
+// self-loop); those degenerate edges are skipped, so e.g. Torus(2, k) equals
+// the 2 x k cylinder and Torus(1, k) the cycle C_k — the generator never
+// panics on small inputs.
 func Torus(rows, cols int) *Graph {
 	g := New(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
+	add := func(u, v int) {
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			g.MustAddEdge(id(r, c), id(r, (c+1)%cols))
-			g.MustAddEdge(id(r, c), id((r+1)%rows, c))
+			add(id(r, c), id(r, (c+1)%cols))
+			add(id(r, c), id((r+1)%rows, c))
 		}
 	}
 	return g
@@ -101,8 +110,12 @@ func CompleteBinaryTree(n int) *Graph {
 
 // Barbell returns two cliques of size cliqueSize joined by a path with
 // pathLen internal vertices. Diameter pathLen + 3 (for cliqueSize >= 2).
-// Useful as a small-n, large-D workload.
+// Useful as a small-n, large-D workload. cliqueSize below 1 is clamped to 1
+// (the two "cliques" degenerate to the path endpoints).
 func Barbell(cliqueSize, pathLen int) *Graph {
+	if cliqueSize < 1 {
+		cliqueSize = 1
+	}
 	n := 2*cliqueSize + pathLen
 	g := New(n)
 	for i := 0; i < cliqueSize; i++ {
@@ -194,6 +207,83 @@ func SmallWorld(n, k int, p float64, seed int64) *Graph {
 		}
 	}
 	return g
+}
+
+// WithWeights returns a weighted deep copy of g: every edge receives an
+// independent uniform weight in [1, maxW], assigned in canonical edge order
+// (so the result is deterministic for a given seed). maxW <= 1 still
+// materializes the weight tables (all weights 1), which lets tests exercise
+// the weighted code paths on effectively-unweighted graphs.
+func WithWeights(g *Graph, maxW int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	c := g.Clone()
+	c.materializeWeights()
+	for _, e := range c.Edges() {
+		w := 1
+		if maxW > 1 {
+			w = 1 + rng.Intn(maxW)
+		}
+		c.setWeight(e[0], e[1], w)
+	}
+	return c
+}
+
+// setWeight overwrites the weight of the existing edge {u, v} on a graph
+// with materialized weight tables (construction helper for WithWeights).
+func (g *Graph) setWeight(u, v, w int) {
+	for i, x := range g.adj[u] {
+		if x == v {
+			g.wts[u][i] = w
+		}
+	}
+	for i, x := range g.adj[v] {
+		if x == u {
+			g.wts[v][i] = w
+		}
+	}
+}
+
+// RandomRegular returns a connected random d-regular graph on n vertices via
+// the configuration model: d stubs per vertex are paired uniformly, the
+// pairing is rejected if it produces self-loops, duplicate edges or a
+// disconnected graph, and the sampling retries with fresh randomness.
+// Deterministic for a given seed. n*d must be even and 0 <= d < n; it errors
+// when the parameters are infeasible or no simple connected pairing is found
+// (vanishingly unlikely for d >= 3 and moderate n).
+func RandomRegular(n, d int, seed int64) (*Graph, error) {
+	if d < 0 || d >= n && !(n <= 1 && d == 0) {
+		return nil, fmt.Errorf("graph: no %d-regular graph on %d vertices", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d = %d*%d is odd", n, d)
+	}
+	if d == 0 {
+		if n > 1 {
+			return nil, fmt.Errorf("graph: 0-regular graph on %d > 1 vertices is disconnected", n)
+		}
+		return New(n), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stubs := make([]int, n*d)
+	for attempt := 0; attempt < 1000; attempt++ {
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := New(n)
+		ok := true
+		for i := 0; i < len(stubs) && ok; i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			ok = u != v && !g.HasEdge(u, v)
+			if ok {
+				g.MustAddEdge(u, v)
+			}
+		}
+		if ok && g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no simple connected %d-regular pairing on %d vertices found", d, n)
 }
 
 // LollipopWithDiameter returns a connected graph with n vertices whose

@@ -1,10 +1,16 @@
 // Package graph provides the undirected-graph substrate used by every other
 // package in this repository: adjacency representation, breadth-first search,
 // BFS trees and their Euler tours, eccentricity and diameter reference
-// algorithms, and the graph generators used in the experiments.
+// algorithms (unweighted and weighted), and the graph generators used in the
+// experiments.
 //
-// Vertices are dense integers in [0, N). All graphs are simple, undirected
-// and unweighted, matching the networks considered in the paper.
+// Vertices are dense integers in [0, N). All graphs are simple and
+// undirected, matching the networks considered in the paper. Edges carry
+// positive integer weights; a graph built with AddEdge alone is unweighted
+// (every weight 1) and stores no weight tables at all, so the unweighted
+// representation and behavior are identical to the pre-weight code.
+// Weighted distance parameters (WeightedDiameter, Dijkstra, FloydWarshall)
+// follow the weighted-CONGEST extensions of the paper's framework.
 package graph
 
 import (
@@ -25,6 +31,12 @@ import (
 type Graph struct {
 	adj   [][]int
 	edges int
+
+	// wts[u][i] is the weight of the edge to adj[u][i]. It is nil for
+	// unweighted graphs (every edge weight 1): the unweighted fast paths
+	// never touch it, so graphs built with AddEdge alone behave bit-for-bit
+	// like the pre-weight representation.
+	wts [][]int
 
 	sorted atomic.Bool
 	sortMu sync.Mutex
@@ -47,11 +59,15 @@ func (g *Graph) M() int { return g.edges }
 // AddVertex appends a new isolated vertex and returns its index.
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
+	if g.wts != nil {
+		g.wts = append(g.wts, nil)
+	}
 	return len(g.adj) - 1
 }
 
-// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
-// are rejected with an error so construction bugs surface early.
+// AddEdge inserts the undirected edge {u, v} with weight 1. Self-loops and
+// duplicate edges are rejected with an error so construction bugs surface
+// early.
 func (g *Graph) AddEdge(u, v int) error {
 	switch {
 	case u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj):
@@ -63,6 +79,10 @@ func (g *Graph) AddEdge(u, v int) error {
 	}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
+	if g.wts != nil {
+		g.wts[u] = append(g.wts[u], 1)
+		g.wts[v] = append(g.wts[v], 1)
+	}
 	g.edges++
 	g.sorted.Store(false)
 	return nil
@@ -74,6 +94,103 @@ func (g *Graph) MustAddEdge(u, v int) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic(err)
 	}
+}
+
+// AddWeightedEdge inserts the undirected edge {u, v} with the given positive
+// integer weight. The first weight other than 1 materializes the weight
+// tables (all previously added edges keep weight 1); until then the graph
+// stays in the unweighted representation.
+func (g *Graph) AddWeightedEdge(u, v, w int) error {
+	if w < 1 {
+		return fmt.Errorf("graph: edge {%d,%d} weight %d < 1", u, v, w)
+	}
+	if w > 1 {
+		g.materializeWeights()
+	}
+	if err := g.AddEdge(u, v); err != nil {
+		return err
+	}
+	if g.wts != nil {
+		g.wts[u][len(g.wts[u])-1] = w
+		g.wts[v][len(g.wts[v])-1] = w
+	}
+	return nil
+}
+
+// MustAddWeightedEdge is AddWeightedEdge panicking on error.
+func (g *Graph) MustAddWeightedEdge(u, v, w int) {
+	if err := g.AddWeightedEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// materializeWeights switches the graph to the weighted representation,
+// backfilling weight 1 for every edge added so far.
+func (g *Graph) materializeWeights() {
+	if g.wts != nil {
+		return
+	}
+	g.wts = make([][]int, len(g.adj))
+	for u, a := range g.adj {
+		w := make([]int, len(a))
+		for i := range w {
+			w[i] = 1
+		}
+		g.wts[u] = w
+	}
+}
+
+// Weighted reports whether the graph carries materialized edge weights (at
+// least one edge was added with weight > 1). Unweighted graphs behave as if
+// every edge had weight 1.
+func (g *Graph) Weighted() bool { return g.wts != nil }
+
+// Weight returns the weight of edge {u, v}: 1 for edges of an unweighted
+// graph, 0 when {u, v} is not an edge.
+func (g *Graph) Weight(u, v int) int {
+	if u < 0 || u >= len(g.adj) {
+		return 0
+	}
+	// Same synchronization story as HasEdge: the scan must not race with a
+	// reader's lazy in-place sort.
+	if !g.sorted.Load() {
+		g.sortMu.Lock()
+		defer g.sortMu.Unlock()
+	}
+	for i, w := range g.adj[u] {
+		if w == v {
+			if g.wts == nil {
+				return 1
+			}
+			return g.wts[u][i]
+		}
+	}
+	return 0
+}
+
+// NeighborWeights returns the weights aligned with Neighbors(u), or nil for
+// an unweighted graph (all weights 1). The returned slice is owned by the
+// graph and must not be modified.
+func (g *Graph) NeighborWeights(u int) []int {
+	if g.wts == nil {
+		return nil
+	}
+	g.ensureSorted()
+	return g.wts[u]
+}
+
+// MaxWeight returns the largest edge weight (1 for unweighted graphs and
+// graphs without edges).
+func (g *Graph) MaxWeight() int {
+	max := 1
+	for _, ws := range g.wts {
+		for _, w := range ws {
+			if w > max {
+				max = w
+			}
+		}
+	}
+	return max
 }
 
 // HasEdge reports whether {u, v} is an edge.
@@ -118,10 +235,31 @@ func (g *Graph) ensureSorted() {
 	if g.sorted.Load() {
 		return
 	}
-	for _, a := range g.adj {
-		sort.Ints(a)
+	if g.wts == nil {
+		for _, a := range g.adj {
+			sort.Ints(a)
+		}
+	} else {
+		// Weighted: the weight entries must follow their adjacency entries.
+		for u, a := range g.adj {
+			sort.Sort(&adjWeightOrder{ids: a, wts: g.wts[u]})
+		}
 	}
 	g.sorted.Store(true)
+}
+
+// adjWeightOrder co-sorts one vertex's adjacency list and its aligned weight
+// list by neighbor id (ids are unique: the graph is simple).
+type adjWeightOrder struct {
+	ids []int
+	wts []int
+}
+
+func (s *adjWeightOrder) Len() int           { return len(s.ids) }
+func (s *adjWeightOrder) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *adjWeightOrder) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.wts[i], s.wts[j] = s.wts[j], s.wts[i]
 }
 
 // Clone returns a deep copy of g.
@@ -133,6 +271,12 @@ func (g *Graph) Clone() *Graph {
 	c.sorted.Store(true)
 	for i, a := range g.adj {
 		c.adj[i] = append([]int(nil), a...)
+	}
+	if g.wts != nil {
+		c.wts = make([][]int, len(g.wts))
+		for i, w := range g.wts {
+			c.wts[i] = append([]int(nil), w...)
+		}
 	}
 	return c
 }
@@ -248,7 +392,9 @@ func (g *Graph) Diameter() (int, error) {
 	return diam, nil
 }
 
-// Radius returns min_v ecc(v).
+// Radius returns min_v ecc(v). Like Diameter, the radius of a graph with
+// fewer than two vertices is 0 (documented convention, asserted by the
+// degenerate-input table tests alongside the generator edge cases).
 func (g *Graph) Radius() (int, error) {
 	if len(g.adj) == 0 {
 		return 0, nil

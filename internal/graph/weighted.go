@@ -1,0 +1,192 @@
+package graph
+
+// Weighted reference algorithms: the sequential oracles the distributed
+// weighted distance programs (internal/congest) and the quantum suite
+// (internal/core) are checked against. Two independent implementations are
+// provided on purpose — per-source Dijkstra and all-pairs Floyd–Warshall —
+// so the randomized cross-check tests can compare the distributed results
+// against oracles that share no code.
+//
+// Conventions (mirroring the unweighted ones): the diameter and radius of a
+// graph with fewer than two vertices are 0; all parameters return
+// ErrDisconnected on disconnected graphs; unweighted graphs take the BFS
+// fast path, so every weighted parameter degenerates to its unweighted
+// counterpart when all weights are 1.
+
+// Dijkstra returns the weighted distance from src to every vertex (-1 for
+// unreachable vertices). On an unweighted graph it is exactly BFS.
+func (g *Graph) Dijkstra(src int) []int {
+	if g.wts == nil {
+		dist, _ := g.BFS(src)
+		return dist
+	}
+	g.ensureSorted()
+	n := len(g.adj)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	// Binary heap of (dist, vertex), ordered by (dist, vertex) so the pop
+	// order — and therefore the whole run — is deterministic.
+	type item struct{ d, v int }
+	heap := []item{{0, src}}
+	less := func(a, b item) bool { return a.d < b.d || (a.d == b.d && a.v < b.v) }
+	push := func(it item) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			next := i
+			if l < last && less(heap[l], heap[next]) {
+				next = l
+			}
+			if r < last && less(heap[r], heap[next]) {
+				next = r
+			}
+			if next == i {
+				break
+			}
+			heap[i], heap[next] = heap[next], heap[i]
+			i = next
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		for i, u := range g.adj[it.v] {
+			if nd := it.d + g.wts[it.v][i]; dist[u] == -1 || nd < dist[u] {
+				dist[u] = nd
+				push(item{nd, u})
+			}
+		}
+	}
+	return dist
+}
+
+// WeightedEccentricity returns max_v dist_w(src, v), or ErrDisconnected if
+// some vertex is unreachable from src.
+func (g *Graph) WeightedEccentricity(src int) (int, error) {
+	ecc := 0
+	for _, d := range g.Dijkstra(src) {
+		if d == -1 {
+			return 0, ErrDisconnected
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// WeightedDiameter returns max_u max_v dist_w(u, v) via n Dijkstra runs. The
+// weighted diameter of a graph with fewer than two vertices is 0.
+func (g *Graph) WeightedDiameter() (int, error) {
+	diam := 0
+	for v := range g.adj {
+		ecc, err := g.WeightedEccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// WeightedRadius returns min_u max_v dist_w(u, v). The weighted radius of a
+// graph with fewer than two vertices is 0.
+func (g *Graph) WeightedRadius() (int, error) {
+	if len(g.adj) == 0 {
+		return 0, nil
+	}
+	radius := -1
+	for v := range g.adj {
+		ecc, err := g.WeightedEccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if radius == -1 || ecc < radius {
+			radius = ecc
+		}
+	}
+	return radius, nil
+}
+
+// WeightedAllEccentricities returns the weighted eccentricity of every
+// vertex.
+func (g *Graph) WeightedAllEccentricities() ([]int, error) {
+	out := make([]int, len(g.adj))
+	for v := range g.adj {
+		ecc, err := g.WeightedEccentricity(v)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = ecc
+	}
+	return out, nil
+}
+
+// FloydWarshall returns the full weighted all-pairs distance matrix, or
+// ErrDisconnected if the graph is not connected. It is the code-independent
+// oracle for Dijkstra and the distributed weighted programs: O(n^3) dynamic
+// programming over an explicit matrix, no priority queue, no BFS.
+func (g *Graph) FloydWarshall() ([][]int, error) {
+	g.ensureSorted()
+	n := len(g.adj)
+	const inf = int(^uint(0) >> 2) // large enough that inf+inf does not overflow
+	mat := make([][]int, n)
+	for u := 0; u < n; u++ {
+		row := make([]int, n)
+		for v := range row {
+			row[v] = inf
+		}
+		row[u] = 0
+		for i, v := range g.adj[u] {
+			w := 1
+			if g.wts != nil {
+				w = g.wts[u][i]
+			}
+			row[v] = w
+		}
+		mat[u] = row
+	}
+	for k := 0; k < n; k++ {
+		for u := 0; u < n; u++ {
+			viaK := mat[u][k]
+			if viaK == inf {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if d := viaK + mat[k][v]; d < mat[u][v] {
+					mat[u][v] = d
+				}
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if mat[u][v] == inf {
+				return nil, ErrDisconnected
+			}
+		}
+	}
+	return mat, nil
+}

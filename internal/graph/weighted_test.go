@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestWeightedRepresentation(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if g.Weighted() {
+		t.Fatal("AddEdge alone must keep the graph unweighted")
+	}
+	if w := g.Weight(0, 1); w != 1 {
+		t.Fatalf("Weight(0,1) = %d on unweighted graph, want 1", w)
+	}
+	if ws := g.NeighborWeights(0); ws != nil {
+		t.Fatalf("NeighborWeights on unweighted graph = %v, want nil", ws)
+	}
+	g.MustAddWeightedEdge(1, 2, 7)
+	if !g.Weighted() {
+		t.Fatal("weight-7 edge must materialize the weight tables")
+	}
+	// Backfilled edges keep weight 1; later AddEdge default to 1 too.
+	g.MustAddEdge(2, 3)
+	for _, tc := range []struct{ u, v, want int }{
+		{0, 1, 1}, {1, 0, 1}, {1, 2, 7}, {2, 1, 7}, {2, 3, 1}, {0, 3, 0},
+	} {
+		if w := g.Weight(tc.u, tc.v); w != tc.want {
+			t.Fatalf("Weight(%d,%d) = %d, want %d", tc.u, tc.v, w, tc.want)
+		}
+	}
+	if mw := g.MaxWeight(); mw != 7 {
+		t.Fatalf("MaxWeight = %d, want 7", mw)
+	}
+	if err := g.AddWeightedEdge(0, 2, 0); err == nil {
+		t.Fatal("weight 0 must be rejected")
+	}
+}
+
+// TestWeightSortAlignment builds a weighted graph whose adjacency lists are
+// constructed out of order and checks that the lazy sort keeps each weight
+// attached to its neighbor.
+func TestWeightSortAlignment(t *testing.T) {
+	g := New(5)
+	g.MustAddWeightedEdge(2, 4, 9)
+	g.MustAddWeightedEdge(2, 0, 3)
+	g.MustAddWeightedEdge(2, 3, 5)
+	g.MustAddWeightedEdge(2, 1, 2)
+	nbr := g.Neighbors(2)
+	ws := g.NeighborWeights(2)
+	wantN := []int{0, 1, 3, 4}
+	wantW := []int{3, 2, 5, 9}
+	if !reflect.DeepEqual(nbr, wantN) || !reflect.DeepEqual(ws, wantW) {
+		t.Fatalf("neighbors %v weights %v, want %v / %v", nbr, ws, wantN, wantW)
+	}
+	c := g.Clone()
+	if !c.Weighted() || !reflect.DeepEqual(c.NeighborWeights(2), wantW) {
+		t.Fatalf("clone lost weights: %v", c.NeighborWeights(2))
+	}
+	// Mutating the clone must not touch the original.
+	c.setWeight(2, 4, 1)
+	if g.Weight(2, 4) != 9 {
+		t.Fatal("clone weight mutation leaked into the original")
+	}
+}
+
+// TestDijkstraMatchesFloydWarshall cross-checks the two independent weighted
+// oracles on random weighted graphs, and the unweighted fast path against
+// BFS.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := WithWeights(RandomConnected(24, 0.12, seed), 9, seed+100)
+		mat, err := g.FloydWarshall()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for src := 0; src < g.N(); src++ {
+			if dist := g.Dijkstra(src); !reflect.DeepEqual(dist, mat[src]) {
+				t.Fatalf("seed %d src %d: Dijkstra %v != FloydWarshall %v", seed, src, dist, mat[src])
+			}
+		}
+		// All-1 weights must reproduce hop distances exactly.
+		u := WithWeights(RandomConnected(24, 0.12, seed), 1, seed)
+		for src := 0; src < u.N(); src++ {
+			bfs, _ := u.BFS(src)
+			if dist := u.Dijkstra(src); !reflect.DeepEqual(dist, bfs) {
+				t.Fatalf("seed %d src %d: weighted all-1 Dijkstra %v != BFS %v", seed, src, dist, bfs)
+			}
+		}
+	}
+}
+
+func TestWithWeightsDeterministic(t *testing.T) {
+	base := RandomConnected(30, 0.1, 5)
+	a := WithWeights(base, 12, 42)
+	b := WithWeights(base, 12, 42)
+	for _, e := range base.Edges() {
+		if a.Weight(e[0], e[1]) != b.Weight(e[0], e[1]) {
+			t.Fatalf("edge %v: weights differ across identical seeds", e)
+		}
+		if w := a.Weight(e[0], e[1]); w < 1 || w > 12 {
+			t.Fatalf("edge %v: weight %d outside [1,12]", e, w)
+		}
+	}
+	if base.Weighted() {
+		t.Fatal("WithWeights mutated its input")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{8, 3}, {12, 4}, {20, 3}} {
+		g, err := RandomRegular(tc.n, tc.d, 7)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if g.N() != tc.n || !g.Connected() {
+			t.Fatalf("RandomRegular(%d,%d): n=%d connected=%v", tc.n, tc.d, g.N(), g.Connected())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("RandomRegular(%d,%d): degree(%d) = %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n*d must error")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Fatal("d >= n must error")
+	}
+	if g, err := RandomRegular(1, 0, 1); err != nil || g.N() != 1 {
+		t.Fatalf("RandomRegular(1,0) = %v, %v", g, err)
+	}
+}
+
+// TestWeightedConcurrentReaders exercises the synchronized lazy sort with
+// weights under concurrent readers (run with -race).
+func TestWeightedConcurrentReaders(t *testing.T) {
+	g := WithWeights(RandomConnected(64, 0.08, 3), 5, 4)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				v := rng.Intn(g.N())
+				nbr := g.Neighbors(v)
+				ws := g.NeighborWeights(v)
+				if len(nbr) != len(ws) {
+					t.Errorf("vertex %d: %d neighbors, %d weights", v, len(nbr), len(ws))
+					return
+				}
+				_ = g.Dijkstra(v)
+			}
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

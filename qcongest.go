@@ -10,7 +10,10 @@
 //     3/2-approximation of [HPRW14]);
 //   - the paper's quantum algorithms (QuantumExactDiameter — Theorem 1,
 //     Õ(sqrt(nD)) rounds; QuantumExactDiameterSimple — the Section 3.1
-//     variant; QuantumApproxDiameter — Theorem 4, Õ(cbrt(nD)+D) rounds);
+//     variant; QuantumApproxDiameter — Theorem 4, Õ(cbrt(nD)+D) rounds) and
+//     the distance-parameter suite built on the same Evaluation machinery
+//     (Radius, Eccentricities, WeightedDiameter, WeightedRadius — with
+//     weighted graphs via WithWeights / Graph.AddWeightedEdge);
 //   - the lower-bound machinery (NewHW12Reduction, NewACHK16Reduction,
 //     BlockedGroverDisj, the G_d simulation of Theorem 11).
 //
@@ -65,14 +68,20 @@ var (
 	Torus              = graph.Torus
 	Hypercube          = graph.Hypercube
 	CompleteBinaryTree = graph.CompleteBinaryTree
-	// Barbell, Caterpillar, RandomConnected, RandomTree, SmallWorld and
-	// LollipopWithDiameter build experiment workloads.
+	// Barbell, Caterpillar, RandomConnected, RandomTree, RandomRegular,
+	// SmallWorld and LollipopWithDiameter build experiment workloads.
 	Barbell              = graph.Barbell
 	Caterpillar          = graph.Caterpillar
 	RandomConnected      = graph.RandomConnected
 	RandomTree           = graph.RandomTree
+	RandomRegular        = graph.RandomRegular
 	SmallWorld           = graph.SmallWorld
 	LollipopWithDiameter = graph.LollipopWithDiameter
+	// WithWeights returns a weighted copy of a graph with uniform random
+	// edge weights in [1, maxW]; the weighted distance-parameter suite
+	// (Radius, Eccentricities, WeightedDiameter, the Dijkstra /
+	// FloydWarshall oracles) follows the graph's metric.
+	WithWeights = graph.WithWeights
 )
 
 // ClassicalResult is the outcome of a classical CONGEST algorithm run.
@@ -225,6 +234,55 @@ func QuantumApproxDiameter(g *Graph, opts QuantumOptions) (QuantumResult, error)
 	return core.ApproxDiameter(g, opts)
 }
 
+// The distance-parameter suite: the same Figure 2 Evaluation machinery
+// generalized beyond the diameter (radius, all eccentricities, weighted
+// graphs — the directions of the Wang–Wu–Yao and Wu–Yao follow-ups). Radius
+// and Eccentricities follow the graph's metric: hop distances on unweighted
+// graphs, weighted distances on graphs built with AddWeightedEdge or
+// WithWeights.
+
+// Radius computes the exact radius by quantum minimum finding over the
+// per-vertex eccentricity Evaluations (Õ(sqrt(n)·D) rounds unweighted).
+func Radius(g *Graph, opts QuantumOptions) (QuantumResult, error) {
+	return core.Radius(g, opts)
+}
+
+// WeightedDiameter computes the exact weighted diameter by quantum maximum
+// finding over Bellman–Ford-based weighted eccentricity Evaluations. On an
+// unweighted graph it degenerates to the hop diameter.
+func WeightedDiameter(g *Graph, opts QuantumOptions) (QuantumResult, error) {
+	return core.WeightedDiameter(g, opts)
+}
+
+// WeightedRadius is WeightedDiameter's minimization twin.
+func WeightedRadius(g *Graph, opts QuantumOptions) (QuantumResult, error) {
+	return core.WeightedRadius(g, opts)
+}
+
+// EccentricitiesResult reports a full eccentricity vector with its measured
+// CONGEST cost.
+type EccentricitiesResult = core.EccResult
+
+// Eccentricities computes the eccentricity of every vertex by one Evaluation
+// per vertex on reused sessions; QuantumOptions.Parallel batches the
+// independent Evaluations onto cloned sessions deterministically.
+func Eccentricities(g *Graph, opts QuantumOptions) (EccentricitiesResult, error) {
+	return core.Eccentricities(g, opts)
+}
+
+// ClassicalEccentricities computes every vertex's eccentricity classically
+// in Theta(n) rounds (the all-initiator wave of [PRT12]).
+func ClassicalEccentricities(g *Graph, opts ...EngineOption) ([]int, CongestMetrics, error) {
+	return congest.ClassicalEccentricities(g, opts...)
+}
+
+// ClassicalWeightedDiameter computes the exact weighted diameter classically
+// (one Bellman–Ford Evaluation per vertex on a reused session, Theta(n^2)
+// rounds).
+func ClassicalWeightedDiameter(g *Graph, opts ...EngineOption) (ClassicalResult, error) {
+	return congest.ClassicalWeightedDiameter(g, opts...)
+}
+
 // Bits is a packed bit vector (two-party protocol input).
 type Bits = bitstring.Bits
 
@@ -288,6 +346,7 @@ var (
 	ExactComparison  = experiments.ExactComparison
 	ApproxComparison = experiments.ApproxComparison
 	DiameterSweep    = experiments.DiameterSweep
+	SuiteComparison  = experiments.SuiteComparison
 	Lemma1Coverage   = experiments.Lemma1Coverage
 	FormatTable      = experiments.FormatTable
 	// FitPower and CrossoverN fit measured round curves and extrapolate

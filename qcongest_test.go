@@ -306,3 +306,80 @@ func TestTheorem10TranscriptStableAcrossWorkersAndRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicDistanceParameterSuite exercises the distance-parameter suite
+// through the public facade: radius, eccentricities and weighted diameter,
+// classical and quantum, against the sequential graph oracles.
+func TestPublicDistanceParameterSuite(t *testing.T) {
+	g := RandomConnected(26, 0.12, 9)
+	wantRad, err := g.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Radius(g, QuantumOptions{Seed: 5, Engine: []EngineOption{WithWorkers(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diameter != wantRad {
+		t.Fatalf("quantum radius %d, oracle %d", res.Diameter, wantRad)
+	}
+
+	wantEcc, err := g.AllEccentricities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := Eccentricities(g, QuantumOptions{Seed: 5, Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eres.Ecc) != len(wantEcc) {
+		t.Fatalf("ecc vector length %d, want %d", len(eres.Ecc), len(wantEcc))
+	}
+	for v := range wantEcc {
+		if eres.Ecc[v] != wantEcc[v] {
+			t.Fatalf("ecc[%d] = %d, oracle %d", v, eres.Ecc[v], wantEcc[v])
+		}
+	}
+	ceccs, _, err := ClassicalEccentricities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range wantEcc {
+		if ceccs[v] != wantEcc[v] {
+			t.Fatalf("classical ecc[%d] = %d, oracle %d", v, ceccs[v], wantEcc[v])
+		}
+	}
+
+	wg := WithWeights(g, 7, 11)
+	wantWD, err := wg.WeightedDiameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := WeightedDiameter(wg, QuantumOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Diameter != wantWD {
+		t.Fatalf("quantum weighted diameter %d, oracle %d", wres.Diameter, wantWD)
+	}
+	cres, err := ClassicalWeightedDiameter(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Diameter != wantWD {
+		t.Fatalf("classical weighted diameter %d, oracle %d", cres.Diameter, wantWD)
+	}
+	// Radius follows the graph's metric: on the weighted copy it equals the
+	// weighted radius.
+	wantWR, err := wg.WeightedRadius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrres, err := Radius(wg, QuantumOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrres.Diameter != wantWR {
+		t.Fatalf("quantum weighted radius %d, oracle %d", wrres.Diameter, wantWR)
+	}
+}
