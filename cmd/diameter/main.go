@@ -37,10 +37,19 @@ func run() error {
 		maxw     = flag.Int("maxw", 8, "largest edge weight used by -weighted")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
+		sched    = flag.String("sched", "frontier", "round scheduler: frontier|dense (output is identical for either)")
 		parallel = flag.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
 	)
 	flag.Parse()
 	engine := []qcongest.EngineOption{qcongest.WithWorkers(*workers)}
+	switch *sched {
+	case "frontier":
+		engine = append(engine, qcongest.WithScheduler(qcongest.SchedulerFrontier))
+	case "dense":
+		engine = append(engine, qcongest.WithScheduler(qcongest.SchedulerDense))
+	default:
+		return fmt.Errorf("unknown scheduler %q (want frontier or dense)", *sched)
+	}
 
 	g, err := buildGraph(*kind, *n, *d, *p, *seed)
 	if err != nil {

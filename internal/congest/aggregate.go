@@ -133,6 +133,19 @@ func (c *ConvergecastMaxNode) Receive(env *Env, inbox []Inbound) {
 // Done implements Node.
 func (c *ConvergecastMaxNode) Done() bool { return c.sent }
 
+// NextWake implements Scheduled: a node transmits once, as soon as all of
+// its children have reported (leaves in round 1); child reports are
+// messages and schedule the node by themselves.
+func (c *ConvergecastMaxNode) NextWake(env *Env, round int) int {
+	if c.sent {
+		return NeverWake
+	}
+	if c.received >= len(c.Children) {
+		return round + 1
+	}
+	return NeverWake
+}
+
 // StateBits implements StateSizer.
 func (c *ConvergecastMaxNode) StateBits() int { return 4 * 64 }
 
@@ -202,6 +215,18 @@ func (b *BroadcastNode) Receive(env *Env, inbox []Inbound) {
 
 // Done implements Node.
 func (b *BroadcastNode) Done() bool { return b.sent }
+
+// NextWake implements Scheduled: the root transmits in round 1; every
+// other node forwards once, the round after the value reaches it.
+func (b *BroadcastNode) NextWake(env *Env, round int) int {
+	if b.sent {
+		return NeverWake
+	}
+	if b.have {
+		return round + 1
+	}
+	return NeverWake
+}
 
 // StateBits implements StateSizer.
 func (b *BroadcastNode) StateBits() int { return 64 }

@@ -81,6 +81,14 @@ func (nn *notifyNode) Receive(env *Env, inbox []Inbound) {
 
 func (nn *notifyNode) Done() bool { return nn.sent }
 
+// NextWake implements Scheduled: one shot in round 1, then nothing.
+func (nn *notifyNode) NextWake(env *Env, round int) int {
+	if nn.sent {
+		return NeverWake
+	}
+	return round + 1
+}
+
 // PrepareApprox runs Steps 1-3 of Figure 3 with target sample size s and
 // the given randomness seed. It retries the sampling (with derived seeds)
 // when Step 1's abort condition triggers or the sample is empty.

@@ -188,6 +188,36 @@ func (b *BFSNode) Receive(env *Env, inbox []Inbound) {
 // Done implements Node.
 func (b *BFSNode) Done() bool { return b.done }
 
+// NextWake implements Scheduled. A BFS node acts spontaneously in exactly
+// three situations: the root self-activates (round 1), an activated node
+// broadcasts once, and the child set becomes final by the round-(Dist+2)
+// timer — after which the node reports as soon as the last child report is
+// in (reports arrive as messages, which schedule the node by themselves).
+func (b *BFSNode) NextWake(env *Env, round int) int {
+	if b.done {
+		return NeverWake
+	}
+	if !b.activated {
+		if env.ID == b.Root {
+			return round + 1 // self-activation in the next Send
+		}
+		return NeverWake // activation arrives as a message
+	}
+	if !b.activationSent {
+		return round + 1
+	}
+	if !b.childrenFinal {
+		if w := b.Dist + 2; w > round {
+			return w // the children-final timer fires in that round's Receive
+		}
+		return round + 1
+	}
+	if !b.reported && len(b.childReports) == len(b.Children) {
+		return round + 1 // report in the next Send
+	}
+	return NeverWake // waiting for child reports
+}
+
 // StateBits reports the O(log n)-bit core state (parent, distance, subtree
 // max) plus one bit per child flag.
 func (b *BFSNode) StateBits() int {
@@ -252,6 +282,15 @@ func (l *LeaderElectNode) Receive(env *Env, inbox []Inbound) {
 
 // Done implements Node.
 func (l *LeaderElectNode) Done() bool { return l.started && !l.pending }
+
+// NextWake implements Scheduled: every node floods its own id in round 1;
+// afterwards it only re-broadcasts improvements, which arrive as messages.
+func (l *LeaderElectNode) NextWake(env *Env, round int) int {
+	if !l.started || l.pending {
+		return round + 1
+	}
+	return NeverWake
+}
 
 // StateBits implements StateSizer.
 func (l *LeaderElectNode) StateBits() int { return 64 }

@@ -38,8 +38,19 @@
 // outputs, round counts, Metrics and error messages are identical for every
 // worker count, including the k=1 serial execution. Encoded messages live
 // in recycled per-worker arenas, so steady-state rounds allocate nothing.
-// DESIGN.md ("Execution engine", "Wire format") documents the concurrency
-// model, the determinism argument and the message encodings in full.
+//
+// By default rounds are frontier-scheduled (see WithScheduler and
+// scheduler.go): only vertices that received a message last round,
+// self-scheduled a wake (the Scheduled contract), or lack the contract
+// entirely are executed, with worker shards iterating the sorted frontier
+// — bit-identical to dense execution, but wall-clock scales with the
+// algorithm's total work instead of n·rounds. The adjacency the engine
+// runs on is a packed CSR core built once per Topology (flat offset/arena
+// arrays; Env.Neighbors slices are views into the arena, and the
+// per-message destination check is a binary search on the packed row).
+// DESIGN.md ("Execution engine", "Scheduler", "Wire format") documents the
+// concurrency model, the determinism argument and the message encodings in
+// full.
 //
 // # Execution sessions
 //
@@ -346,13 +357,20 @@ type StateSizer interface {
 // the max), which is order-independent, so the merged Metrics are byte-
 // identical for every worker count.
 type Metrics struct {
-	Rounds        int // executed rounds
-	Messages      int // total messages delivered
-	Bits          int // total encoded bits delivered
-	MaxEdgeBits   int // max encoded bits over a directed edge in one round
-	MaxStateBits  int // max per-node state bits observed (StateSizer nodes)
-	MaxInboxSize  int // max messages delivered to one node in one round
-	DroppedRounds int // rounds in which nothing was sent (idle rounds)
+	Rounds       int // executed rounds
+	Messages     int // total messages delivered
+	Bits         int // total encoded bits delivered
+	MaxEdgeBits  int // max encoded bits over a directed edge in one round
+	MaxStateBits int // max per-node state bits observed (StateSizer nodes)
+	MaxInboxSize int // max messages delivered to one node in one round
+
+	// DroppedRounds counts rounds in which nothing was sent (idle rounds).
+	// The invariant is scheduler-independent: the frontier scheduler skips
+	// an all-idle round without executing any vertex, but accounts it here
+	// — and advances Rounds over it — exactly as if the dense engine had
+	// executed it empty, so Metrics compare bit-for-bit across
+	// WithScheduler settings (asserted by the DroppedRounds table test).
+	DroppedRounds int
 }
 
 // Add accumulates other into m (used when composing phases).
@@ -389,7 +407,8 @@ type Network struct {
 	topo      *Topology
 	nodes     []Node
 	bandwidth int
-	workers   int // configured worker count; <= 0 selects the automatic rule
+	workers   int       // configured worker count; <= 0 selects the automatic rule
+	sched     Scheduler // round-execution strategy (default SchedulerFrontier)
 	strict    bool
 	metrics   Metrics
 	observer  Observer
@@ -486,6 +505,22 @@ func (nw *Network) Metrics() Metrics { return nw.metrics }
 // Bandwidth returns the per-edge per-round bit budget in force.
 func (nw *Network) Bandwidth() int { return nw.bandwidth }
 
+// EffectiveScheduler reports the strategy Run will use: the configured
+// scheduler, demoted to SchedulerDense when no program implements the
+// Scheduled contract (the frontier would then execute every vertex every
+// round anyway; the dense path does the same with less bookkeeping).
+func (nw *Network) EffectiveScheduler() Scheduler {
+	if nw.sched != SchedulerFrontier {
+		return nw.sched
+	}
+	for _, nd := range nw.nodes {
+		if _, ok := nd.(Scheduled); ok {
+			return SchedulerFrontier
+		}
+	}
+	return SchedulerDense
+}
+
 // minVerticesPerWorker is the smallest shard the automatic worker rule will
 // create: below that, the per-round barrier costs more than the shard's
 // compute, so small networks run serially.
@@ -511,10 +546,13 @@ func (nw *Network) EffectiveWorkers() int {
 	return k
 }
 
-// phase identifiers for the worker loop.
+// phase identifiers for the worker loop (the F variants are the frontier
+// scheduler's half-rounds, see scheduler.go).
 const (
 	phaseSend = iota
 	phaseRecv
+	phaseSendF
+	phaseRecvF
 )
 
 // workerState is one worker's private slice of the engine state. Round
@@ -545,6 +583,8 @@ type engine struct {
 	outs    [][]stagedMsg // per-sender emissions, kept only for the observer
 	ws      []workerState
 
+	fr *frontierState // frontier scheduler state; nil on the dense path
+
 	phase []chan int // per-worker phase mailbox (k > 1 only)
 	wg    sync.WaitGroup
 }
@@ -569,6 +609,20 @@ func newEngine(nw *Network) *engine {
 	if nw.observer != nil {
 		e.outs = make([][]stagedMsg, n)
 	}
+	if nw.sched == SchedulerFrontier {
+		var always []int32
+		for v, nd := range nw.nodes {
+			if _, ok := nd.(Scheduled); !ok {
+				always = append(always, int32(v))
+			}
+		}
+		// A network whose programs all lack the contract would execute
+		// every vertex every round through the frontier machinery; run the
+		// leaner dense path instead — the semantics are identical anyway.
+		if len(always) < n {
+			e.fr = newFrontierState(n, e.k, always)
+		}
+	}
 	if e.k > 1 {
 		e.phase = make([]chan int, e.k)
 		for w := 0; w < e.k; w++ {
@@ -579,13 +633,22 @@ func newEngine(nw *Network) *engine {
 	return e
 }
 
+func (e *engine) dispatch(w, ph int) {
+	switch ph {
+	case phaseSend:
+		e.sendShard(w)
+	case phaseRecv:
+		e.recvShard(w)
+	case phaseSendF:
+		e.sendShardF(w)
+	case phaseRecvF:
+		e.recvShardF(w)
+	}
+}
+
 func (e *engine) worker(w int) {
 	for ph := range e.phase[w] {
-		if ph == phaseSend {
-			e.sendShard(w)
-		} else {
-			e.recvShard(w)
-		}
+		e.dispatch(w, ph)
 		e.wg.Done()
 	}
 }
@@ -596,11 +659,7 @@ func (e *engine) worker(w int) {
 // buffers from the previous phase.
 func (e *engine) runPhase(ph int) {
 	if e.k == 1 {
-		if ph == phaseSend {
-			e.sendShard(0)
-		} else {
-			e.recvShard(0)
-		}
+		e.dispatch(0, ph)
 		return
 	}
 	e.wg.Add(e.k)
@@ -646,7 +705,14 @@ func (e *engine) sendShard(w int) {
 // canonical error (the one at the smallest sender id — what a serial
 // execution hits first), folds the worker metric shards into the run
 // metrics, and replays the observer in canonical order.
-func (e *engine) finishSend() error {
+func (e *engine) finishSend() error { return e.finishSendFrom(nil) }
+
+// finishSendFrom is finishSend with an explicit sender set: the frontier
+// scheduler passes its sorted frontier so the observer replay iterates only
+// the vertices that actually ran the send half (their e.outs entries are
+// current; everything else is stale from earlier rounds). nil means all
+// vertices, the dense engine's order.
+func (e *engine) finishSendFrom(senders []int32) error {
 	errW := -1
 	var sent, bitsTotal, maxEdge int
 	for w := range e.ws {
@@ -674,10 +740,20 @@ func (e *engine) finishSend() error {
 		m.DroppedRounds++
 	}
 	if obs := e.nw.observer; obs != nil {
-		for v := 0; v < e.n; v++ {
-			for i := range e.outs[v] {
-				r := &e.outs[v][i]
-				obs(e.round, v, r.to, r.bits, r.wire)
+		if senders == nil {
+			for v := 0; v < e.n; v++ {
+				for i := range e.outs[v] {
+					r := &e.outs[v][i]
+					obs(e.round, v, r.to, r.bits, r.wire)
+				}
+			}
+		} else {
+			for _, v32 := range senders {
+				v := int(v32)
+				for i := range e.outs[v] {
+					r := &e.outs[v][i]
+					obs(e.round, v, r.to, r.bits, r.wire)
+				}
 			}
 		}
 	}
@@ -776,7 +852,15 @@ func (e *engine) finishRecv() bool {
 // and the round barriers recycle, so a persistent engine (Session) can call
 // it repeatedly — after the node programs are Reset — and every execution
 // is bit-for-bit identical to a run on a freshly built engine.
+//
+// The body below is the dense strategy (every vertex, every round); with
+// the frontier scheduler selected (the default, when at least one program
+// implements the Scheduled contract) execution is delegated to
+// executeFrontier, which is bit-identical by construction (scheduler.go).
 func (e *engine) execute(maxRounds int) error {
+	if e.fr != nil {
+		return e.executeFrontier(maxRounds)
+	}
 	nw := e.nw
 	if nw.observer != nil {
 		nw.observer(0, -1, -1, 0, WireView{}) // run boundary

@@ -1,0 +1,507 @@
+package congest
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// The frontier scheduler's contract: for every program in the suite, every
+// worker count and fresh-vs-session execution, the frontier engine is
+// bit-identical to the dense engine and to RunReference — outputs, Metrics,
+// and complete observer wire traces. These tests sweep that whole matrix.
+
+// schedMatrix is the scheduler × workers grid every equivalence assertion
+// runs over.
+var schedMatrix = []struct {
+	name string
+	opts []Option
+}{
+	{"dense/w1", []Option{WithScheduler(SchedulerDense), WithWorkers(1)}},
+	{"dense/w2", []Option{WithScheduler(SchedulerDense), WithWorkers(2)}},
+	{"dense/w8", []Option{WithScheduler(SchedulerDense), WithWorkers(8)}},
+	{"frontier/w1", []Option{WithScheduler(SchedulerFrontier), WithWorkers(1)}},
+	{"frontier/w2", []Option{WithScheduler(SchedulerFrontier), WithWorkers(2)}},
+	{"frontier/w8", []Option{WithScheduler(SchedulerFrontier), WithWorkers(8)}},
+}
+
+// schedCase is one program workload: a node family over a topology with an
+// output fingerprint.
+type schedCase struct {
+	name        string
+	topo        *Topology
+	make        func(v int) Node
+	maxRounds   int
+	fingerprint func(at func(v int) Node, n int) string
+}
+
+// schedCapture is everything one run produces.
+type schedCapture struct {
+	Out     string
+	Metrics Metrics
+	Trace   []string
+}
+
+func runSchedCase(t *testing.T, c schedCase, run func(*Network, int) error, opts ...Option) schedCapture {
+	t.Helper()
+	var trace []string
+	nw := NewNetworkOn(c.topo, c.make, append([]Option{WithObserver(recordObs(&trace))}, opts...)...)
+	if err := run(nw, c.maxRounds); err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	return schedCapture{Out: c.fingerprint(nw.Node, c.topo.N()), Metrics: nw.Metrics(), Trace: trace}
+}
+
+// TestSchedulerEquivalenceSuite sweeps every node program of the suite over
+// the scheduler × workers matrix, fresh and session-reused, against a
+// RunReference baseline.
+func TestSchedulerEquivalenceSuite(t *testing.T) {
+	g := graph.RandomConnected(150, 0.03, 4)
+	n := g.N()
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Option{WithScheduler(SchedulerDense), WithWorkers(1)}
+	info, _, err := PreprocessOn(topo, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+
+	// Scaffolding inputs computed once on the dense oracle.
+	tourLen := 2 * (n - 1)
+	tau, _, err := TokenWalkOn(topo, info, info.Children, info.Leader, tourLen, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := make([]int, n)
+	sources := 0
+	for v := 0; v < n; v++ {
+		ranks[v] = -1
+		if v%19 == 0 {
+			ranks[v] = sources
+			sources++
+		}
+	}
+	sspDuration := sources + 2*d + 8
+	sspNW := NewNetworkOn(topo, func(v int) Node { return NewSSPNode(ranks[v], sources, sspDuration) }, base...)
+	if err := sspNW.Run(sspDuration + 4); err != nil {
+		t.Fatal(err)
+	}
+	dists := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		dists[v] = sspNW.Node(v).(*SSPNode).Dist
+	}
+
+	gw := graph.WithWeights(g, 7, 4)
+	wtopo, err := NewTopology(gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := wtopo.DistBound()
+	wDuration := n - 1
+
+	cases := []schedCase{
+		{
+			name: "leader", topo: topo, maxRounds: 4*n + 16,
+			make: func(v int) Node { return NewLeaderElectNode() },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*LeaderElectNode).Leader)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "bfs", topo: topo, maxRounds: 8*n + 16,
+			make: func(v int) Node { return NewBFSNode(info.Leader) },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					b := at(v).(*BFSNode)
+					fmt.Fprintf(&sb, "%d/%d/%v/%d;", b.Dist, b.Parent, b.Children, b.Ecc)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "walk", topo: topo, maxRounds: tourLen + 4,
+			make: func(v int) Node {
+				return NewTokenWalkNode(info.Parent[v], info.Children[v], info.Leader, info.Leader, tourLen)
+			},
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*TokenWalkNode).Tau)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "wave", topo: topo, maxRounds: 2*tourLen + 2*d + 8,
+			make: func(v int) Node { return NewWaveNode(tau[v] >= 0, tau[v], 2*tourLen+2*d+2) },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					w := at(v).(*WaveNode)
+					fmt.Fprintf(&sb, "%d/%d/%v;", w.TV, w.DV, w.Violation)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "cc-max", topo: topo, maxRounds: 4*n + 16,
+			make: func(v int) Node {
+				return NewConvergecastMaxNode(info.Parent[v], info.Children[v], (v*13)%97, v)
+			},
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					c := at(v).(*ConvergecastMaxNode)
+					fmt.Fprintf(&sb, "%d/%d;", c.Max, c.MaxWitness)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "bcast", topo: topo, maxRounds: 4*n + 16,
+			make: func(v int) Node { return NewBroadcastNode(info.Parent[v], info.Children[v], 42) },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*BroadcastNode).Value)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "minflood", topo: topo, maxRounds: 4*n + 16,
+			make: func(v int) Node { return NewMinFloodNode(v%17 == 0) },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					m := at(v).(*MinFloodNode)
+					fmt.Fprintf(&sb, "%d/%d;", m.Dist, m.Src)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "cc-sum", topo: topo, maxRounds: 4*n + 16,
+			make: func(v int) Node {
+				return NewConvergecastSumNode(info.Parent[v], info.Children[v], v%5)
+			},
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*ConvergecastSumNode).Sum)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "ssp", topo: topo, maxRounds: sspDuration + 4,
+			make: func(v int) Node { return NewSSPNode(ranks[v], sources, sspDuration) },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					s := at(v).(*SSPNode)
+					for r := 0; r < sources; r++ {
+						d, ok := s.Dist[r]
+						fmt.Fprintf(&sb, "%d/%v,", d, ok)
+					}
+					sb.WriteByte(';')
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "src-max", topo: topo, maxRounds: d + sources + 8,
+			make: func(v int) Node {
+				return NewSourceMaxNode(info.Parent[v], info.Children[v], info.Depth[v], d, sources, dists[v])
+			},
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					s := at(v).(*SourceMaxNode)
+					for r := 0; r < sources; r++ {
+						fmt.Fprintf(&sb, "%d,", s.Max[r])
+					}
+					sb.WriteByte(';')
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "weighted-sssp", topo: wtopo, maxRounds: wDuration + 4,
+			make: func(v int) Node {
+				return NewWeightedSSSPNode(v == 3, wtopo.NeighborWeights(v), bound, wDuration)
+			},
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*WeightedSSSPNode).Dist)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "weighted-max", topo: wtopo, maxRounds: 4*n + 16,
+			make: func(v int) Node {
+				return NewWeightedMaxNode(info.Parent[v], info.Children[v], (v*7)%bound, v, bound)
+			},
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					c := at(v).(*WeightedMaxNode)
+					fmt.Fprintf(&sb, "%d/%d;", c.Max, c.MaxWitness)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "notify", topo: topo, maxRounds: 8,
+			make: func(v int) Node { return &notifyNode{Parent: info.Parent[v], Marked: v%3 == 0} },
+			fingerprint: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					ch := append([]int(nil), at(v).(*notifyNode).MarkedChildren...)
+					sort.Ints(ch)
+					fmt.Fprintf(&sb, "%v;", ch)
+				}
+				return sb.String()
+			},
+		},
+	}
+
+	for _, c := range cases {
+		want := runSchedCase(t, c, (*Network).RunReference)
+		for _, m := range schedMatrix {
+			got := runSchedCase(t, c, (*Network).Run, m.opts...)
+			if got.Out != want.Out {
+				t.Errorf("%s [%s]: outputs differ from RunReference", c.name, m.name)
+			}
+			if got.Metrics != want.Metrics {
+				t.Errorf("%s [%s]: Metrics = %+v, want %+v", c.name, m.name, got.Metrics, want.Metrics)
+			}
+			if !reflect.DeepEqual(got.Trace, want.Trace) {
+				t.Errorf("%s [%s]: observer trace differs from RunReference (%d vs %d events)",
+					c.name, m.name, len(got.Trace), len(want.Trace))
+			}
+
+			// Session dimension: build once, Reset+Run twice; both
+			// executions must match the reference bit for bit.
+			var trace []string
+			sess := NewSession(c.topo, c.make, append([]Option{WithObserver(recordObs(&trace))}, m.opts...)...)
+			for rerun := 0; rerun < 2; rerun++ {
+				trace = trace[:0]
+				if err := sess.Reset(nil); err != nil {
+					t.Fatalf("%s [%s]: %v", c.name, m.name, err)
+				}
+				if err := sess.Run(c.maxRounds); err != nil {
+					t.Fatalf("%s [%s] rerun %d: %v", c.name, m.name, rerun, err)
+				}
+				if out := c.fingerprint(sess.Node, c.topo.N()); out != want.Out {
+					t.Errorf("%s [%s] session rerun %d: outputs differ from RunReference", c.name, m.name, rerun)
+				}
+				if sess.Metrics() != want.Metrics {
+					t.Errorf("%s [%s] session rerun %d: Metrics = %+v, want %+v",
+						c.name, m.name, rerun, sess.Metrics(), want.Metrics)
+				}
+				if !reflect.DeepEqual(trace, want.Trace) {
+					t.Errorf("%s [%s] session rerun %d: observer trace differs", c.name, m.name, rerun)
+				}
+			}
+			sess.Close()
+		}
+	}
+}
+
+// TestSchedulerEquivalenceComposites runs the composed classical algorithms
+// — every phase of the Figure 2 / Figure 3 pipelines back to back — over
+// the scheduler matrix.
+func TestSchedulerEquivalenceComposites(t *testing.T) {
+	g := graph.RandomConnected(120, 0.04, 8)
+	gw := graph.WithWeights(g, 6, 8)
+	type comp struct {
+		name string
+		run  func(opts ...Option) (string, error)
+	}
+	comps := []comp{
+		{"classical-exact", func(opts ...Option) (string, error) {
+			r, err := ClassicalExactDiameter(g, opts...)
+			return fmt.Sprintf("%+v", r), err
+		}},
+		{"classical-approx", func(opts ...Option) (string, error) {
+			r, err := ClassicalApproxDiameter(g, 0, 8, opts...)
+			return fmt.Sprintf("%+v", r), err
+		}},
+		{"classical-ecc", func(opts ...Option) (string, error) {
+			ecc, m, err := ClassicalEccentricities(g, opts...)
+			return fmt.Sprintf("%v %+v", ecc, m), err
+		}},
+		{"classical-weighted", func(opts ...Option) (string, error) {
+			r, err := ClassicalWeightedDiameter(gw, opts...)
+			return fmt.Sprintf("%+v", r), err
+		}},
+	}
+	for _, c := range comps {
+		want, err := c.run(WithScheduler(SchedulerDense), WithWorkers(1), WithStrictAccounting())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, m := range schedMatrix {
+			got, err := c.run(append([]Option{WithStrictAccounting()}, m.opts...)...)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", c.name, m.name, err)
+			}
+			if got != want {
+				t.Errorf("%s [%s]:\n got %s\nwant %s", c.name, m.name, got, want)
+			}
+		}
+	}
+}
+
+// pulseNode is a Scheduled test program with long idle gaps: vertex 0
+// broadcasts at the configured rounds; everyone finishes at the last one.
+// It exercises the scheduler's idle-round skipping.
+type pulseNode struct {
+	wakes []int // ascending broadcast rounds of vertex 0
+	idx   int
+	seen  int
+	done  bool
+	tx    msgChild
+}
+
+func (p *pulseNode) last() int { return p.wakes[len(p.wakes)-1] }
+
+func (p *pulseNode) Send(env *Env, out *Outbox) {
+	if env.ID != 0 {
+		return
+	}
+	if p.idx < len(p.wakes) && env.Round == p.wakes[p.idx] {
+		p.idx++
+		out.Broadcast(env.Neighbors, &p.tx)
+	}
+}
+
+func (p *pulseNode) Receive(env *Env, inbox []Inbound) {
+	p.seen += len(inbox)
+	if env.Round >= p.last() {
+		p.done = true
+	}
+}
+
+func (p *pulseNode) Done() bool { return p.done }
+
+func (p *pulseNode) StateBits() int { return 64 + p.seen }
+
+func (p *pulseNode) NextWake(env *Env, round int) int {
+	if p.done {
+		return NeverWake
+	}
+	if env.ID == 0 && p.idx < len(p.wakes) {
+		if w := p.wakes[p.idx]; w > round {
+			return w
+		}
+		return round + 1
+	}
+	if w := p.last(); w > round {
+		return w
+	}
+	return round + 1
+}
+
+func (p *pulseNode) ResetNode(v int, params any) {
+	if params != nil {
+		badResetParams("pulseNode", params)
+	}
+	p.idx, p.seen, p.done = 0, 0, false
+}
+
+// TestDroppedRoundsSchedulerInvariant is the Metrics.DroppedRounds table
+// test: an all-idle round that the frontier scheduler skips must account
+// identically to a dense empty round — same Rounds, same DroppedRounds,
+// same everything — including on timeout errors inside a gap.
+func TestDroppedRoundsSchedulerInvariant(t *testing.T) {
+	g := graph.Path(40)
+	cases := []struct {
+		name          string
+		wakes         []int
+		maxRounds     int
+		wantErr       bool
+		wantRounds    int
+		wantDropped   int
+		wantSkipped   bool // documents which rows exercise real gaps
+		wantDelivered int  // messages: one broadcast from vertex 0 per pulse
+	}{
+		{"no-gap", []int{1, 2, 3}, 50, false, 3, 0, false, 3},
+		{"single-late-pulse", []int{5}, 50, false, 5, 4, true, 1},
+		{"two-pulses-long-gap", []int{1, 40}, 80, false, 40, 38, true, 2},
+		{"gap-to-timeout", []int{50}, 10, true, 10, 10, true, 0},
+	}
+	for _, tc := range cases {
+		runM := func(sched Scheduler, workers int) (Metrics, error) {
+			nw, err := NewNetwork(g, func(v int) Node { return &pulseNode{wakes: tc.wakes} },
+				WithScheduler(sched), WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runErr := nw.Run(tc.maxRounds)
+			return nw.Metrics(), runErr
+		}
+		wantM, wantErr := runM(SchedulerDense, 1)
+		if (wantErr != nil) != tc.wantErr {
+			t.Fatalf("%s: dense err = %v, want error %v", tc.name, wantErr, tc.wantErr)
+		}
+		if wantM.Rounds != tc.wantRounds || wantM.DroppedRounds != tc.wantDropped {
+			t.Fatalf("%s: dense Rounds/Dropped = %d/%d, want %d/%d",
+				tc.name, wantM.Rounds, wantM.DroppedRounds, tc.wantRounds, tc.wantDropped)
+		}
+		if want := tc.wantDelivered * len(g.Neighbors(0)); wantM.Messages != want {
+			t.Fatalf("%s: dense Messages = %d, want %d", tc.name, wantM.Messages, want)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			gotM, gotErr := runM(SchedulerFrontier, workers)
+			if (gotErr == nil) != (wantErr == nil) ||
+				(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+				t.Errorf("%s workers %d: frontier err %v, dense err %v", tc.name, workers, gotErr, wantErr)
+			}
+			if gotM != wantM {
+				t.Errorf("%s workers %d: frontier Metrics = %+v, dense %+v", tc.name, workers, gotM, wantM)
+			}
+		}
+	}
+}
+
+// TestEffectiveSchedulerFallback: a network whose programs lack the
+// Scheduled contract must run the dense path even under the (default)
+// frontier setting — the conservative always-active default — while the
+// shipped programs engage the frontier.
+func TestEffectiveSchedulerFallback(t *testing.T) {
+	g := graph.Path(16)
+	legacy, err := NewNetwork(g, func(v int) Node { return &duelingHogNode{threshold: 1 << 30} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy.EffectiveScheduler(); got != SchedulerDense {
+		t.Errorf("legacy network EffectiveScheduler = %v, want dense fallback", got)
+	}
+	modern, err := NewNetwork(g, func(v int) Node { return NewLeaderElectNode() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := modern.EffectiveScheduler(); got != SchedulerFrontier {
+		t.Errorf("suite network EffectiveScheduler = %v, want frontier", got)
+	}
+	if got := NewNetworkOn(modern.topo, func(v int) Node { return NewLeaderElectNode() },
+		WithScheduler(SchedulerDense)).EffectiveScheduler(); got != SchedulerDense {
+		t.Errorf("explicit dense EffectiveScheduler = %v, want dense", got)
+	}
+}

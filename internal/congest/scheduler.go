@@ -1,0 +1,578 @@
+package congest
+
+// This file implements the frontier scheduler: the engine strategy that
+// executes, each round, only the vertices that can possibly act — the
+// active frontier — instead of all n. Every program in the Figure 2
+// pipeline (BFS waves, token walks, the wave flood, Bellman–Ford) touches a
+// thin frontier of vertices per round, so executing only that frontier
+// makes wall-clock scale with the total work the algorithm performs rather
+// than with n x rounds.
+//
+// # The frontier invariant
+//
+// A vertex is executed in round r if and only if at least one of:
+//
+//  1. a message was delivered to it in round r-1 (messages may change its
+//     state, so its next Send may emit);
+//  2. its program self-scheduled round r through the Scheduled contract
+//     (NextWake), which covers spontaneous actions — a wave initiation at
+//     round 2*tau'+1, a fixed-duration timer firing, the next step of a
+//     pipelined schedule;
+//  3. its program does not implement the contract at all — the
+//     conservative always-active default, under which the vertex runs
+//     every round exactly as in the dense engine, so custom user programs
+//     written against the facade keep working unchanged.
+//
+// Message delivery is independent of the frontier: a message sent in round
+// r is received in round r by its target whether or not the target was
+// scheduled (the receive half runs over frontier ∪ receivers).
+//
+// The contract a Scheduled program must uphold is exactly: whenever the
+// scheduler would skip the vertex, running its Send and Receive (with an
+// empty inbox) in the dense engine would emit nothing and change no state.
+// Under that contract the frontier execution is bit-identical to the dense
+// one by construction: skipped work is work that provably does nothing.
+// The scheduler-equivalence tests assert this across the whole program
+// suite, worker counts and session reuse, against RunReference.
+//
+// # Determinism
+//
+// The frontier is a deterministic function of the run history: receivers
+// are determined by the (deterministic) sends, self-wakes by program state,
+// and the always-active set by the program types. Worker shards iterate the
+// sorted frontier slice (worker w executes frontier[i] for i ≡ w mod k), so
+// per-worker delivery buffers stay ordered by ascending sender and the
+// round barrier's k-way merge, metrics fold and canonical error selection
+// work exactly as in the dense engine — outputs are bit-identical for every
+// worker count.
+//
+// # Quiescence and idle-round accounting
+//
+// The engine tracks the number of not-Done vertices incrementally (a
+// vertex's Done can only change in a round that executes it), so quiescence
+// is detected without the dense engine's O(n) per-round scan. When the
+// frontier is empty but self-wakes are pending, every round up to the next
+// wake would execute as an empty round in the dense engine; the scheduler
+// skips them in O(1) and accounts them identically — Metrics.Rounds
+// advances over the gap and Metrics.DroppedRounds counts each skipped
+// round, exactly as if they had been executed empty. An empty frontier
+// with no pending wake and not-Done vertices can never quiesce; the run
+// fails with the same error and metrics the dense engine produces at
+// maxRounds.
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Scheduler selects the engine's round-execution strategy.
+type Scheduler uint8
+
+const (
+	// SchedulerFrontier (the default) executes only the active frontier
+	// each round: vertices that received a message last round, vertices
+	// whose program self-scheduled the round (Scheduled), and vertices
+	// whose program does not implement the contract (always active). It is
+	// bit-identical to the dense engine for every worker count.
+	SchedulerFrontier Scheduler = iota
+	// SchedulerDense executes every vertex every round — the original
+	// strategy, retained as a selectable oracle for equivalence testing
+	// and benchmarking.
+	SchedulerDense
+)
+
+// String returns the scheduler's flag name.
+func (s Scheduler) String() string {
+	if s == SchedulerDense {
+		return "dense"
+	}
+	return "frontier"
+}
+
+// WithScheduler selects the round-execution strategy (default
+// SchedulerFrontier). Like WithWorkers, the choice only trades wall-clock
+// time: outputs, Metrics, observer traces and errors are bit-identical for
+// either scheduler.
+func WithScheduler(s Scheduler) Option {
+	return func(nw *Network) { nw.sched = s }
+}
+
+// NeverWake is the NextWake return value meaning "message-driven": the
+// vertex needs no execution until a message arrives.
+const NeverWake = 0
+
+// Scheduled is the optional activity contract a node program implements to
+// benefit from frontier scheduling. The engine calls NextWake after the
+// program is constructed or reset (round = 0) and after every round that
+// executes the vertex; env identifies the vertex (ID, N, Neighbors — its
+// Round field equals round) and round is the round that just completed.
+//
+// The return value is the next round at which the vertex must be executed
+// even if no message arrives before then: round+1 to run next round, a
+// larger value to sleep until a scheduled action (values <= round are
+// clamped to round+1), or NeverWake when the vertex is purely
+// message-driven until further notice. A delivered message always
+// schedules its receiver for the following round, so NextWake only needs
+// to cover spontaneous actions.
+//
+// Contract: if NextWake answers NeverWake (or a round later than r), then
+// executing the vertex at round r with an empty inbox must emit nothing
+// and change no state — that is what makes skipping it invisible.
+// Programs that do not implement Scheduled are conservatively executed
+// every round, which reproduces dense behavior exactly.
+type Scheduled interface {
+	NextWake(env *Env, round int) int
+}
+
+// wakeEntry is one pending self-wake: vertex v wants to run at round.
+type wakeEntry struct {
+	round int32
+	v     int32
+}
+
+// frontierState is the engine's per-run frontier bookkeeping. All slices
+// are allocated once (newFrontierState) and recycled across rounds and —
+// via reset — across the executions of a persistent Session engine, so
+// steady-state rounds and re-run Evaluations allocate nothing.
+type frontierState struct {
+	alwaysOn []int32 // vertices without the Scheduled contract, ascending
+
+	wake []int32     // wake[v]: registered self-wake round (0 = none)
+	heap []wakeEntry // min-heap by (round, v); stale entries skipped via wake
+
+	cur    []int32 // the frontier executing the current round, sorted
+	recv   []int32 // cur ∪ this round's receivers, sorted
+	next   []int32 // accumulator for the next round's frontier (unsorted)
+	inNext []bool  // membership marks for next
+	inRecv []bool  // membership marks for recv
+
+	done    []bool // last observed Done() per vertex
+	notDone int
+
+	preMax     int  // max initial StateBits over vertices outside frontier(1)
+	preSampled bool // preMax computed (at the first frontier build)
+
+	wakeBuf   [][]wakeEntry // per-worker NextWake answers, merged at the barrier
+	doneDelta []int         // per-worker notDone deltas
+}
+
+func newFrontierState(n, k int, alwaysOn []int32) *frontierState {
+	return &frontierState{
+		alwaysOn:  alwaysOn,
+		wake:      make([]int32, n),
+		inNext:    make([]bool, n),
+		inRecv:    make([]bool, n),
+		done:      make([]bool, n),
+		wakeBuf:   make([][]wakeEntry, k),
+		doneDelta: make([]int, k),
+	}
+}
+
+// reset prepares the state for a fresh execution on a persistent engine.
+func (fr *frontierState) reset() {
+	for i := range fr.wake {
+		fr.wake[i] = 0
+	}
+	fr.heap = fr.heap[:0]
+	fr.cur = fr.cur[:0]
+	fr.recv = fr.recv[:0]
+	for _, v := range fr.next {
+		fr.inNext[v] = false
+	}
+	fr.next = fr.next[:0]
+	fr.notDone = 0
+	fr.preMax = 0
+	fr.preSampled = false
+}
+
+// push inserts a wake entry into the min-heap (ordered by round, then v —
+// a total order, so the pop sequence is deterministic regardless of
+// insertion order).
+func (fr *frontierState) push(e wakeEntry) {
+	h := append(fr.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].round < h[i].round || (h[p].round == h[i].round && h[p].v <= h[i].v) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	fr.heap = h
+}
+
+// pop removes and returns the minimum wake entry.
+func (fr *frontierState) pop() wakeEntry {
+	h := fr.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && (h[l].round < h[min].round || (h[l].round == h[min].round && h[l].v < h[min].v)) {
+			min = l
+		}
+		if r < len(h) && (h[r].round < h[min].round || (h[r].round == h[min].round && h[r].v < h[min].v)) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	fr.heap = h
+	return top
+}
+
+// nextWakeRound returns the earliest valid pending wake round, discarding
+// stale heap entries; 0 when none are pending.
+func (fr *frontierState) nextWakeRound() int {
+	for len(fr.heap) > 0 {
+		top := fr.heap[0]
+		if fr.wake[top.v] == top.round {
+			return int(top.round)
+		}
+		fr.pop()
+	}
+	return 0
+}
+
+// register records a program's NextWake answer given after round cur.
+// Wakes due next round go straight into the next-frontier accumulator;
+// later wakes go to the heap. The latest answer wins: re-registering
+// replaces the previous wake (stale heap entries are skipped lazily).
+func (fr *frontierState) register(v int32, wk, cur int) {
+	if wk == NeverWake {
+		fr.wake[v] = 0
+		return
+	}
+	if wk <= cur+1 {
+		fr.wake[v] = 0
+		if !fr.inNext[v] {
+			fr.inNext[v] = true
+			fr.next = append(fr.next, v)
+		}
+		return
+	}
+	if fr.wake[v] == int32(wk) {
+		return
+	}
+	fr.wake[v] = int32(wk)
+	fr.push(wakeEntry{round: int32(wk), v: v})
+}
+
+// buildFrontier assembles the sorted frontier for `round` from the
+// accumulated receivers/near-wakes, the self-wakes due by `round`, and the
+// always-active vertices.
+func (e *engine) buildFrontier(round int) {
+	fr := e.fr
+	cur := append(fr.cur[:0], fr.next...)
+	for len(fr.heap) > 0 && int(fr.heap[0].round) <= round {
+		top := fr.pop()
+		if fr.wake[top.v] != top.round {
+			continue // superseded registration
+		}
+		fr.wake[top.v] = 0
+		if !fr.inNext[top.v] {
+			cur = append(cur, top.v)
+		}
+	}
+	for _, v := range fr.alwaysOn {
+		if !fr.inNext[v] {
+			cur = append(cur, v)
+		}
+	}
+	for _, v := range fr.next {
+		fr.inNext[v] = false
+	}
+	fr.next = fr.next[:0]
+	slices.Sort(cur)
+	fr.cur = cur
+}
+
+// samplePre records the initial StateBits of every vertex outside the
+// first frontier. The dense engine samples every vertex every round, so
+// the states of vertices that are skipped before their first execution
+// are exactly their initial states; folding this maximum (at the first
+// round barrier, like the dense engine's first samples) makes
+// Metrics.MaxStateBits scheduler-independent.
+func (e *engine) samplePre() {
+	fr := e.fr
+	max := 0
+	for v, nd := range e.nw.nodes {
+		s, ok := nd.(StateSizer)
+		if !ok {
+			continue
+		}
+		if _, in := slices.BinarySearch(fr.cur, int32(v)); in {
+			continue
+		}
+		if b := s.StateBits(); b > max {
+			max = b
+		}
+	}
+	fr.preMax = max
+	fr.preSampled = true
+}
+
+// buildRecvSet assembles the sorted receive set (frontier ∪ this round's
+// receivers) after the send half, and seeds the next frontier with the
+// receivers (rule 1 of the frontier invariant).
+func (e *engine) buildRecvSet() {
+	fr := e.fr
+	recv := append(fr.recv[:0], fr.cur...)
+	for _, v := range fr.cur {
+		fr.inRecv[v] = true
+	}
+	for w := range e.ws {
+		for _, to := range e.ws[w].outbox.touched {
+			if !fr.inNext[to] {
+				fr.inNext[to] = true
+				fr.next = append(fr.next, int32(to))
+			}
+			if !fr.inRecv[to] {
+				fr.inRecv[to] = true
+				recv = append(recv, int32(to))
+			}
+		}
+	}
+	for _, v := range recv {
+		fr.inRecv[v] = false
+	}
+	slices.Sort(recv)
+	fr.recv = recv
+}
+
+// sendShardF runs the Send half for worker w's slice of the frontier
+// (frontier[i] for i ≡ w mod k; ascending, so the delivery buffers stay
+// canonically ordered). Identical to sendShard except for the iteration
+// domain.
+func (e *engine) sendShardF(w int) {
+	nw := e.nw
+	ob := e.ws[w].outbox
+	ob.beginRound(e.round)
+	cur := e.fr.cur
+	for idx := w; idx < len(cur); idx += e.k {
+		v := int(cur[idx])
+		e.envs[v].Round = e.round
+		ob.begin(v)
+		nw.nodes[v].Send(&e.envs[v], ob)
+		if e.outs != nil {
+			e.outs[v] = append(e.outs[v][:0], ob.msgs...)
+		}
+		if ob.err != nil {
+			break
+		}
+	}
+}
+
+// recvShardF runs the Receive half for worker w's slice of the receive
+// set, merging inboxes exactly like recvShard, and additionally maintains
+// the incremental Done count and collects the programs' next wakes into
+// worker-private buffers (merged deterministically at the barrier).
+func (e *engine) recvShardF(w int) {
+	nw := e.nw
+	st := &e.ws[w]
+	fr := e.fr
+	var maxState, maxInbox int
+	delta := 0
+	wb := fr.wakeBuf[w][:0]
+	heads := st.heads
+	rs := fr.recv
+	for idx := w; idx < len(rs); idx += e.k {
+		v := int(rs[idx])
+		var inbox []Inbound
+		if !e.empty {
+			contributors, solo := 0, -1
+			for ww := 0; ww < e.k; ww++ {
+				if len(e.bufs[ww][v]) > 0 {
+					contributors++
+					solo = ww
+				}
+			}
+			switch contributors {
+			case 0:
+				// inbox stays nil
+			case 1:
+				inbox = e.bufs[solo][v]
+			default:
+				inbox = e.inboxes[v][:0]
+				for ww := range heads {
+					heads[ww] = 0
+				}
+				for {
+					best := -1
+					for ww := 0; ww < e.k; ww++ {
+						b := e.bufs[ww][v]
+						if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < e.bufs[best][v][heads[best]].From) {
+							best = ww
+						}
+					}
+					if best < 0 {
+						break
+					}
+					inbox = append(inbox, e.bufs[best][v][heads[best]])
+					heads[best]++
+				}
+				e.inboxes[v] = inbox
+			}
+		}
+		if len(inbox) > maxInbox {
+			maxInbox = len(inbox)
+		}
+		// Receive-only vertices (receivers outside the frontier) did not
+		// pass through the send half; their Round must still be current.
+		e.envs[v].Round = e.round
+		nd := nw.nodes[v]
+		nd.Receive(&e.envs[v], inbox)
+		if s, ok := nd.(StateSizer); ok {
+			if b := s.StateBits(); b > maxState {
+				maxState = b
+			}
+		}
+		if d := nd.Done(); d != fr.done[v] {
+			fr.done[v] = d
+			if d {
+				delta--
+			} else {
+				delta++
+			}
+		}
+		if sc, ok := nd.(Scheduled); ok {
+			wb = append(wb, wakeEntry{round: int32(sc.NextWake(&e.envs[v], e.round)), v: int32(v)})
+		}
+	}
+	fr.wakeBuf[w] = wb
+	fr.doneDelta[w] = delta
+	st.maxStateBits = maxState
+	st.maxInboxSize = maxInbox
+}
+
+// finishRecvF merges the receive half at the round barrier: metric shards,
+// the pre-sampled state maximum (folded from the first barrier on, when
+// the dense engine folds its first samples), the Done count, and the
+// programs' wake registrations.
+func (e *engine) finishRecvF(round int) {
+	m := &e.nw.metrics
+	fr := e.fr
+	for w := range e.ws {
+		st := &e.ws[w]
+		if st.maxStateBits > m.MaxStateBits {
+			m.MaxStateBits = st.maxStateBits
+		}
+		if st.maxInboxSize > m.MaxInboxSize {
+			m.MaxInboxSize = st.maxInboxSize
+		}
+		fr.notDone += fr.doneDelta[w]
+	}
+	if fr.preMax > m.MaxStateBits {
+		m.MaxStateBits = fr.preMax
+	}
+	for w := range e.ws {
+		for _, we := range fr.wakeBuf[w] {
+			fr.register(we.v, int(we.round), round)
+		}
+	}
+}
+
+// runPhaseF executes one frontier half-round. Tiny frontiers run inline on
+// the coordinator — dispatching k workers for a handful of vertices costs
+// more in barrier traffic than the work itself; the shard assignment is
+// identical either way, so the choice is invisible in the results.
+func (e *engine) runPhaseF(ph, size int) {
+	if e.k == 1 || size < minVerticesPerWorker {
+		for w := 0; w < e.k; w++ {
+			e.dispatch(w, ph)
+		}
+		return
+	}
+	e.wg.Add(e.k)
+	for _, ch := range e.phase {
+		ch <- ph
+	}
+	e.wg.Wait()
+}
+
+// executeFrontier is the frontier scheduler's run loop; see the file
+// comment for the invariant and the accounting argument. It recycles all
+// frontier state, so a persistent Session engine re-runs it with zero
+// steady-state allocations, bit-identically to a fresh engine.
+func (e *engine) executeFrontier(maxRounds int) error {
+	nw := e.nw
+	fr := e.fr
+	fr.reset()
+	if nw.observer != nil {
+		nw.observer(0, -1, -1, 0, WireView{}) // run boundary
+	}
+	// Initial scan: the dense engine's pre-run allDone probe, plus the
+	// initial self-wake collection (NextWake after construction/reset).
+	for v, nd := range nw.nodes {
+		d := nd.Done()
+		fr.done[v] = d
+		if !d {
+			fr.notDone++
+		}
+	}
+	for v, nd := range nw.nodes {
+		if sc, ok := nd.(Scheduled); ok {
+			e.envs[v].Round = 0
+			fr.register(int32(v), sc.NextWake(&e.envs[v], 0), 0)
+		}
+	}
+
+	round := 1
+	for {
+		if fr.notDone == 0 {
+			return nil
+		}
+		e.buildFrontier(round)
+		if !fr.preSampled {
+			e.samplePre()
+		}
+		if len(fr.cur) == 0 {
+			// Idle until the next self-wake: the dense engine would execute
+			// these rounds as empty rounds. Account them identically and
+			// skip ahead (satisfying the Metrics.DroppedRounds invariant).
+			w := fr.nextWakeRound()
+			if w == 0 || w > maxRounds {
+				// No wake can ever change state again (or none before the
+				// budget runs out): the dense engine executes empty rounds
+				// up to maxRounds and reports no quiescence.
+				if maxRounds >= round {
+					nw.metrics.DroppedRounds += maxRounds - round + 1
+					nw.metrics.Rounds = maxRounds
+					if fr.preMax > nw.metrics.MaxStateBits {
+						nw.metrics.MaxStateBits = fr.preMax
+					}
+				}
+				return fmt.Errorf("congest: no quiescence after %d rounds", maxRounds)
+			}
+			nw.metrics.DroppedRounds += w - round
+			nw.metrics.Rounds = w - 1
+			if fr.preMax > nw.metrics.MaxStateBits {
+				nw.metrics.MaxStateBits = fr.preMax
+			}
+			round = w
+			continue
+		}
+		if round > maxRounds {
+			return fmt.Errorf("congest: no quiescence after %d rounds", maxRounds)
+		}
+		nw.metrics.Rounds = round
+		e.round = round
+
+		e.runPhaseF(phaseSendF, len(fr.cur))
+		if err := e.finishSendFrom(fr.cur); err != nil {
+			return err
+		}
+		e.buildRecvSet()
+		e.runPhaseF(phaseRecvF, len(fr.recv))
+		e.finishRecvF(round)
+		round++
+	}
+}

@@ -18,39 +18,72 @@ import (
 )
 
 // Topology is the validated, read-only view of a graph that networks and
-// sessions execute on: the connectivity check has passed and the sorted
-// adjacency tables are cached, so building any number of networks on the
-// same Topology never re-scans the graph. A Topology is immutable after
+// sessions execute on: the connectivity check has passed and the adjacency
+// is cached in CSR form, so building any number of networks on the same
+// Topology never re-scans the graph. A Topology is immutable after
 // construction and safe to share across sessions, engines and Pool clones.
+//
+// The CSR layout packs the whole adjacency structure into flat arrays —
+// offsets (int32 row starts, one per vertex plus a sentinel) over a single
+// target arena, with an aligned weight arena for weighted graphs — built
+// once here. The per-vertex neighbor slices handed to node programs
+// (Env.Neighbors, Topology.Neighbors) are views into the arena: one
+// allocation per topology instead of one per vertex, contiguous in memory,
+// and HasEdge is a binary search on the packed row — no graph call, no
+// lock, which matters because the engine validates every message against
+// it. The arena is int-typed (programs address neighbors as int, the
+// public facade included); graph.CSR is the compact int32 twin for callers
+// that only need an oracle.
 type Topology struct {
-	g         *graph.Graph
-	n         int
-	neighbors [][]int
-	weights   [][]int // aligned with neighbors; nil for unweighted graphs
+	g *graph.Graph
+	n int
+
+	offsets   []int32 // CSR row offsets, len n+1
+	arena     []int   // flat neighbor arena, row v = arena[offsets[v]:offsets[v+1]]
+	warena    []int   // flat weight arena aligned with arena; nil for unweighted graphs
+	neighbors [][]int // per-vertex views into arena
+	weights   [][]int // per-vertex views into warena; nil for unweighted graphs
 	maxW      int
 }
 
 // NewTopology validates g (it must be connected, like every algorithm in
-// this repository assumes) and caches its adjacency tables (and, for
-// weighted graphs, the aligned edge-weight tables).
+// this repository assumes) and packs its adjacency (and, for weighted
+// graphs, the aligned edge-weight tables) into the CSR arenas.
 func NewTopology(g *graph.Graph) (*Topology, error) {
 	if !g.Connected() {
 		return nil, graph.ErrDisconnected
 	}
 	n := g.N()
-	t := &Topology{g: g, n: n, neighbors: make([][]int, n), maxW: 1}
-	for v := 0; v < n; v++ {
-		// Neighbors sorts the adjacency list on first use; after this loop
-		// the graph is never mutated again.
-		t.neighbors[v] = g.Neighbors(v)
+	t := &Topology{
+		g:         g,
+		n:         n,
+		offsets:   make([]int32, n+1),
+		arena:     make([]int, 2*g.M()),
+		neighbors: make([][]int, n),
+		maxW:      1,
 	}
-	if g.Weighted() {
+	weighted := g.Weighted()
+	if weighted {
+		t.warena = make([]int, 2*g.M())
 		t.weights = make([][]int, n)
-		for v := 0; v < n; v++ {
-			t.weights[v] = g.NeighborWeights(v)
-		}
 		t.maxW = g.MaxWeight()
 	}
+	off := int32(0)
+	for v := 0; v < n; v++ {
+		t.offsets[v] = off
+		// Neighbors sorts the adjacency list on first use; after this loop
+		// the graph is never read again on any hot path.
+		row := g.Neighbors(v)
+		copy(t.arena[off:], row)
+		t.neighbors[v] = t.arena[off : off+int32(len(row)) : off+int32(len(row))]
+		if weighted {
+			w := g.NeighborWeights(v)
+			copy(t.warena[off:], w)
+			t.weights[v] = t.warena[off : off+int32(len(w)) : off+int32(len(w))]
+		}
+		off += int32(len(row))
+	}
+	t.offsets[n] = off
 	return t, nil
 }
 
@@ -66,8 +99,25 @@ func (t *Topology) Neighbors(v int) []int { return t.neighbors[v] }
 // Degree returns the degree of v.
 func (t *Topology) Degree(v int) int { return len(t.neighbors[v]) }
 
-// HasEdge reports whether {u, v} is an edge.
-func (t *Topology) HasEdge(u, v int) bool { return t.g.HasEdge(u, v) }
+// HasEdge reports whether {u, v} is an edge: a binary search on the packed
+// CSR row of u. This is the engine's per-message destination check, so it
+// must not touch the graph (whose reads synchronize against the lazy sort).
+func (t *Topology) HasEdge(u, v int) bool {
+	if u < 0 || u >= t.n {
+		return false
+	}
+	row := t.arena[t.offsets[u]:t.offsets[u+1]]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == v
+}
 
 // Weighted reports whether the underlying graph carries edge weights.
 func (t *Topology) Weighted() bool { return t.weights != nil }

@@ -158,6 +158,16 @@ func (m *MinFloodNode) Receive(env *Env, inbox []Inbound) {
 // Done implements Node.
 func (m *MinFloodNode) Done() bool { return m.started && !m.pending }
 
+// NextWake implements Scheduled: every node runs round 1 (members seed the
+// flood, everyone flips started); afterwards only improvements — which
+// arrive as messages — are re-broadcast.
+func (m *MinFloodNode) NextWake(env *Env, round int) int {
+	if !m.started || m.pending {
+		return round + 1
+	}
+	return NeverWake
+}
+
 // StateBits implements StateSizer.
 func (m *MinFloodNode) StateBits() int { return 2 * 64 }
 
@@ -227,6 +237,18 @@ func (c *ConvergecastSumNode) Receive(env *Env, inbox []Inbound) {
 
 // Done implements Node.
 func (c *ConvergecastSumNode) Done() bool { return c.sent }
+
+// NextWake implements Scheduled: like ConvergecastMaxNode — transmit once,
+// as soon as every child has reported.
+func (c *ConvergecastSumNode) NextWake(env *Env, round int) int {
+	if c.sent {
+		return NeverWake
+	}
+	if c.received >= len(c.Children) {
+		return round + 1
+	}
+	return NeverWake
+}
 
 // StateBits implements StateSizer.
 func (c *ConvergecastSumNode) StateBits() int { return 2 * 64 }
@@ -339,6 +361,22 @@ func (s *SSPNode) enqueue(p msgPair) {
 // Done implements Node.
 func (s *SSPNode) Done() bool { return s.finished }
 
+// NextWake implements Scheduled: a node transmits while its pair queue is
+// non-empty (sources start in round 1) and finishes at the Duration timer;
+// new pairs arrive as messages.
+func (s *SSPNode) NextWake(env *Env, round int) int {
+	if s.finished {
+		return NeverWake
+	}
+	if len(s.queue) > 0 {
+		return round + 1
+	}
+	if s.Duration > round {
+		return s.Duration
+	}
+	return round + 1
+}
+
 // SourceMaxNode convergecasts, for each ranked source, the maximum over all
 // vertices of the source's distance — i.e. ecc(source) — to the tree root,
 // pipelined one source per round: a node at depth k transmits source i's
@@ -429,3 +467,27 @@ func (s *SourceMaxNode) Receive(env *Env, inbox []Inbound) {
 
 // Done implements Node.
 func (s *SourceMaxNode) Done() bool { return s.finished }
+
+// NextWake implements Scheduled: a non-root node transmits in every round
+// of its pipelined window [D-Depth+1, D-Depth+Sources]; everyone finishes
+// at the D+Sources+1 timer. Subtree maxima arrive as messages.
+func (s *SourceMaxNode) NextWake(env *Env, round int) int {
+	if s.finished {
+		return NeverWake
+	}
+	end := s.D + s.Sources + 1 // the finished timer
+	if s.Parent >= 0 {
+		first := s.D - s.Depth + 1
+		last := s.D - s.Depth + s.Sources
+		if round+1 >= first && round+1 <= last {
+			return round + 1
+		}
+		if round+1 < first && first < end {
+			return first
+		}
+	}
+	if end > round {
+		return end
+	}
+	return round + 1
+}

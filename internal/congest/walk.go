@@ -46,7 +46,6 @@ type TokenWalkNode struct {
 	holding  bool // token currently here, to be forwarded next Send
 	arrived  int  // step counter when the token arrived
 	from     int  // -1 if walk start or restart at root, else sender
-	rounds   int
 	finished bool
 
 	tx, rx msgToken
@@ -83,7 +82,6 @@ func (t *TokenWalkNode) ResetNode(v int, params any) {
 	t.holding = false
 	t.arrived = 0
 	t.from = -1
-	t.rounds = 0
 	t.finished = false
 }
 
@@ -171,7 +169,6 @@ func (t *TokenWalkNode) Receive(env *Env, inbox []Inbound) {
 			}
 		}
 	}
-	t.rounds = env.Round
 	if env.Round >= t.Steps {
 		t.finished = true
 	}
@@ -179,6 +176,27 @@ func (t *TokenWalkNode) Receive(env *Env, inbox []Inbound) {
 
 // Done implements Node.
 func (t *TokenWalkNode) Done() bool { return t.finished }
+
+// NextWake implements Scheduled: only the token holder acts — the start
+// vertex in round 1, then whoever holds the token forwards it next round.
+// Every other vertex sleeps until round Steps, where the fixed-duration
+// timer finishes the walk (so under frontier scheduling the per-round work
+// is the token's single hop, not n vertices).
+func (t *TokenWalkNode) NextWake(env *Env, round int) int {
+	if t.finished {
+		return NeverWake
+	}
+	if t.holding && t.arrived < t.Steps {
+		return round + 1 // forward the token
+	}
+	if env.ID == t.Start && round == 0 {
+		return 1 // the walk begins here
+	}
+	if t.Steps > round {
+		return t.Steps // the finished timer fires in round Steps
+	}
+	return round + 1
+}
 
 // StateBits implements StateSizer: step counter, tau, from pointer.
 func (t *TokenWalkNode) StateBits() int { return 4 * 64 }

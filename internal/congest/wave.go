@@ -161,6 +161,29 @@ func (w *WaveNode) Receive(env *Env, inbox []Inbound) {
 // Done implements Node.
 func (w *WaveNode) Done() bool { return w.finished }
 
+// NextWake implements Scheduled: a wave node acts spontaneously only at
+// its own initiation round 2*tau'+1 (members of S) and at the Duration
+// timer; re-broadcasts are message-driven (pending is set by Receive, and
+// receivers are scheduled for the following round automatically).
+func (w *WaveNode) NextWake(env *Env, round int) int {
+	if w.finished {
+		return NeverWake
+	}
+	if w.pending != nil {
+		return round + 1 // re-broadcast the kept wave
+	}
+	next := w.Duration // the finished timer fires in the Receive of that round
+	if w.InS {
+		if init := 2*w.TauPrime + 1; init > round && init < next {
+			next = init
+		}
+	}
+	if next <= round {
+		return round + 1
+	}
+	return next
+}
+
 // StateBits implements StateSizer: tv, dv and one buffered message — the
 // O(log n) space claim of Proposition 4.
 func (w *WaveNode) StateBits() int {

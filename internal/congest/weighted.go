@@ -165,6 +165,23 @@ func (s *WeightedSSSPNode) Receive(env *Env, inbox []Inbound) {
 // Done implements Node.
 func (s *WeightedSSSPNode) Done() bool { return s.finished }
 
+// NextWake implements Scheduled: every node runs round 1 (the source seeds
+// the relaxation, everyone flips started); afterwards only improvements —
+// which arrive as messages — are re-broadcast, and the fixed Duration
+// timer finishes the schedule.
+func (s *WeightedSSSPNode) NextWake(env *Env, round int) int {
+	if s.finished {
+		return NeverWake
+	}
+	if !s.started || s.pending {
+		return round + 1
+	}
+	if s.Duration > round {
+		return s.Duration
+	}
+	return round + 1
+}
+
 // StateBits implements StateSizer: one distance estimate and the flags.
 func (s *WeightedSSSPNode) StateBits() int { return 2 * 64 }
 
@@ -252,6 +269,18 @@ func (c *WeightedMaxNode) Receive(env *Env, inbox []Inbound) {
 
 // Done implements Node.
 func (c *WeightedMaxNode) Done() bool { return c.sent }
+
+// NextWake implements Scheduled: transmit once, as soon as every child has
+// reported (leaves in round 1).
+func (c *WeightedMaxNode) NextWake(env *Env, round int) int {
+	if c.sent {
+		return NeverWake
+	}
+	if c.received >= len(c.Children) {
+		return round + 1
+	}
+	return NeverWake
+}
 
 // StateBits implements StateSizer.
 func (c *WeightedMaxNode) StateBits() int { return 4 * 64 }

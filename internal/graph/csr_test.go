@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"os"
+	"testing"
+)
+
+func TestCSRMatchesGraph(t *testing.T) {
+	graphs := map[string]*Graph{
+		"path":   Path(17),
+		"grid":   Grid(4, 5),
+		"torus":  Torus(3, 4),
+		"cycle":  Cycle(9),
+		"random": RandomConnected(40, 0.1, 3),
+		"single": New(1),
+		"wtd":    WithWeights(RandomConnected(25, 0.15, 7), 9, 7),
+	}
+	for name, g := range graphs {
+		c, err := g.BuildCSR()
+		if err != nil {
+			t.Fatalf("%s: BuildCSR: %v", name, err)
+		}
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("%s: CSR %d vertices / %d edges, want %d / %d", name, c.N(), c.M(), g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			adj := g.Neighbors(v)
+			row := c.Neighbors(v)
+			if len(row) != len(adj) || c.Degree(v) != g.Degree(v) {
+				t.Fatalf("%s: vertex %d row length %d, want %d", name, v, len(row), len(adj))
+			}
+			wts := c.NeighborWeights(v)
+			if (wts != nil) != g.Weighted() {
+				t.Fatalf("%s: vertex %d weight row present=%v, graph weighted=%v", name, v, wts != nil, g.Weighted())
+			}
+			for i := range adj {
+				if int(row[i]) != adj[i] {
+					t.Fatalf("%s: vertex %d neighbor %d = %d, want %d", name, v, i, row[i], adj[i])
+				}
+				if wts != nil && int(wts[i]) != g.Weight(v, adj[i]) {
+					t.Fatalf("%s: edge {%d,%d} weight %d, want %d", name, v, adj[i], wts[i], g.Weight(v, adj[i]))
+				}
+			}
+		}
+		// HasEdge agrees on a dense probe of pairs.
+		for u := 0; u < g.N(); u++ {
+			for v := -1; v <= g.N(); v++ {
+				if c.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("%s: HasEdge(%d,%d) = %v disagrees with graph", name, u, v, c.HasEdge(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestCSRBFSMatchesGraphBFS(t *testing.T) {
+	for _, g := range []*Graph{Path(31), Grid(6, 7), RandomConnected(60, 0.07, 11)} {
+		c, err := g.BuildCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := make([]int32, g.N())
+		queue := make([]int32, g.N())
+		for _, src := range []int{0, g.N() / 2, g.N() - 1} {
+			reached, ecc := c.BFSInto(src, dist, queue)
+			want, _ := g.BFS(src)
+			if reached != g.N() {
+				t.Fatalf("BFSInto(%d) reached %d of %d", src, reached, g.N())
+			}
+			wantEcc := 0
+			for v, d := range want {
+				if int(dist[v]) != d {
+					t.Fatalf("BFSInto(%d): dist[%d] = %d, want %d", src, v, dist[v], d)
+				}
+				if d > wantEcc {
+					wantEcc = d
+				}
+			}
+			if int(ecc) != wantEcc {
+				t.Fatalf("BFSInto(%d): ecc %d, want %d", src, ecc, wantEcc)
+			}
+		}
+	}
+}
+
+// The structured generators preallocate their adjacency arenas: building a
+// graph must cost O(1) allocations per vertex (in practice a handful per
+// graph), not O(log deg) reallocations per vertex. The small always-on
+// probe guards the property; the gated test exercises it at the 1M-vertex
+// scale the metropolis example runs at.
+func TestGeneratorAllocationsLean(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+	}{
+		{"path", func() *Graph { return Path(10000) }},
+		{"cycle", func() *Graph { return Cycle(10000) }},
+		{"grid", func() *Graph { return Grid(100, 100) }},
+		{"torus", func() *Graph { return Torus(100, 100) }},
+	}
+	for _, tc := range cases {
+		var g *Graph
+		allocs := testing.AllocsPerRun(3, func() { g = tc.build() })
+		if !g.Connected() {
+			t.Fatalf("%s: generated graph disconnected", tc.name)
+		}
+		// New (graph + headers) + arena + closure bookkeeping: single digits.
+		// The bound is deliberately loose; the regression it guards against
+		// is per-vertex/per-edge reallocation, i.e. thousands of allocs.
+		if allocs > 64 {
+			t.Errorf("%s: %.0f allocations per build, want O(1) total", tc.name, allocs)
+		}
+	}
+}
+
+// TestGeneratorCapacity1M is the metropolis-scale capacity check: a sparse
+// million-vertex grid builds with a constant number of allocations, packs
+// into CSR, and its distance oracle confirms the known diameter. ~1 GB of
+// transient memory and a few seconds of work, so it is opt-in:
+//
+//	QCONGEST_CAPACITY=1 go test -run TestGeneratorCapacity1M ./internal/graph
+func TestGeneratorCapacity1M(t *testing.T) {
+	if os.Getenv("QCONGEST_CAPACITY") == "" {
+		t.Skip("set QCONGEST_CAPACITY=1 to run the 1M-vertex capacity test")
+	}
+	const side = 1000
+	var g *Graph
+	allocs := testing.AllocsPerRun(1, func() { g = Grid(side, side) })
+	if allocs > 64 {
+		t.Errorf("Grid(%d,%d): %.0f allocations, want O(1) total", side, side, allocs)
+	}
+	if g.N() != side*side || g.M() != 2*side*(side-1) {
+		t.Fatalf("grid has %d vertices / %d edges", g.N(), g.M())
+	}
+	c, err := g.BuildCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]int32, g.N())
+	queue := make([]int32, g.N())
+	reached, ecc := c.BFSInto(0, dist, queue)
+	if reached != g.N() {
+		t.Fatalf("corner BFS reached %d of %d vertices", reached, g.N())
+	}
+	if want := int32(2 * (side - 1)); ecc != want {
+		t.Fatalf("corner eccentricity %d, want %d", ecc, want)
+	}
+}

@@ -5,9 +5,22 @@ import (
 	"math/rand"
 )
 
+// The structured generators below (Path, Cycle, Grid, Torus) know their
+// degree sequences in advance and preallocate the adjacency arena, so
+// building even a million-vertex graph costs O(1) allocations per vertex —
+// the scale floor the frontier-scheduled engine is designed to feed on.
+
 // Path returns the path graph P_n: 0-1-2-...-(n-1). Diameter n-1.
 func Path(n int) *Graph {
 	g := New(n)
+	if n >= 2 {
+		g.preallocAdjacency(2*(n-1), func(v int) int {
+			if v == 0 || v == n-1 {
+				return 1
+			}
+			return 2
+		})
+	}
 	for i := 0; i+1 < n; i++ {
 		g.MustAddEdge(i, i+1)
 	}
@@ -16,10 +29,15 @@ func Path(n int) *Graph {
 
 // Cycle returns the cycle C_n (n >= 3). Diameter floor(n/2).
 func Cycle(n int) *Graph {
-	g := Path(n)
-	if n >= 3 {
-		g.MustAddEdge(n-1, 0)
+	if n < 3 {
+		return Path(n)
 	}
+	g := New(n)
+	g.preallocAdjacency(2*n, func(int) int { return 2 })
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(n-1, 0)
 	return g
 }
 
@@ -47,6 +65,27 @@ func Complete(n int) *Graph {
 func Grid(rows, cols int) *Graph {
 	g := New(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
+	if rows > 0 && cols > 0 {
+		horiz := rows * (cols - 1)
+		vert := (rows - 1) * cols
+		g.preallocAdjacency(2*(horiz+vert), func(v int) int {
+			r, c := v/cols, v%cols
+			d := 0
+			if c > 0 {
+				d++
+			}
+			if c+1 < cols {
+				d++
+			}
+			if r > 0 {
+				d++
+			}
+			if r+1 < rows {
+				d++
+			}
+			return d
+		})
+	}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
@@ -67,6 +106,10 @@ func Grid(rows, cols int) *Graph {
 // panics on small inputs.
 func Torus(rows, cols int) *Graph {
 	g := New(rows * cols)
+	// Every torus vertex has degree 4; degenerate dimensions (< 3) skip
+	// coinciding wraparound edges, leaving some declared capacity unused —
+	// harmless, the arena is simply a little larger than needed.
+	g.preallocAdjacency(4*rows*cols, func(int) int { return 4 })
 	id := func(r, c int) int { return r*cols + c }
 	add := func(u, v int) {
 		if u != v && !g.HasEdge(u, v) {

@@ -56,6 +56,31 @@ func (g *Graph) N() int { return len(g.adj) }
 // M returns the number of edges.
 func (g *Graph) M() int { return g.edges }
 
+// preallocAdjacency carves per-vertex adjacency capacity out of one shared
+// arena: adj[v] becomes a zero-length view with capacity deg(v), so the
+// following AddEdge calls append in place and the whole construction costs
+// O(1) allocations per vertex instead of O(log deg) reallocations each.
+// total must equal the sum of the declared degrees. Generators that know
+// their degree sequence (Path, Cycle, Grid, Torus) use this to build
+// million-vertex graphs allocation-lean; a declared degree that turns out
+// too small is not an error — that vertex's append simply falls back to a
+// private reallocation. Only meaningful on a graph with no edges yet.
+func (g *Graph) preallocAdjacency(total int, deg func(v int) int) {
+	if g.edges != 0 || total <= 0 {
+		return
+	}
+	arena := make([]int, total)
+	off := 0
+	for v := range g.adj {
+		d := deg(v)
+		if off+d > len(arena) {
+			return // inconsistent declaration; keep the remaining rows nil
+		}
+		g.adj[v] = arena[off : off : off+d]
+		off += d
+	}
+}
+
 // AddVertex appends a new isolated vertex and returns its index.
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
