@@ -32,7 +32,7 @@ func run() error {
 		d        = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
 		p        = flag.Float64("p", 0.1, "edge probability (random)")
 		algo     = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx (diameter only; see -param)")
-		param    = flag.String("param", "diameter", "distance parameter: diameter|radius|ecc")
+		param    = flag.String("param", "diameter", "parameter: diameter|radius|ecc|triangle|mincut")
 		weighted = flag.Bool("weighted", false, "assign uniform random edge weights in [1, maxw] and compute the weighted parameter")
 		maxw     = flag.Int("maxw", 8, "largest edge weight used by -weighted")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -160,10 +160,43 @@ func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parall
 		}
 		fmt.Printf("quantum eccentricities: n=%d match-oracle=%v rounds=%d eval-rounds=%d min=%d max=%d\n",
 			len(res.Ecc), match, res.Rounds, res.EvalRounds, lo, hi)
+	case "triangle":
+		res, err := qcongest.TriangleCount(g, qopts)
+		if err != nil {
+			return err
+		}
+		truth := 0
+		for v := 0; v < g.N(); v++ {
+			if onTriangle(g, v) {
+				truth++
+			}
+		}
+		fmt.Printf("quantum triangle count: found=%v vertices=%d true-vertices=%d rounds=%d iterations=%d eval-rounds=%d\n",
+			res.Found, res.Count, truth, res.Rounds, res.Iterations, res.EvalRounds)
+	case "mincut":
+		res, err := qcongest.MinTreeCut(g, qopts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("quantum min tree cut: weight=%d root=%d rounds=%d iterations=%d eval-rounds=%d\n",
+			res.Weight, res.Root, res.Rounds, res.Iterations, res.EvalRounds)
 	default:
-		return fmt.Errorf("unknown parameter %q (want diameter, radius or ecc)", param)
+		return fmt.Errorf("unknown parameter %q (want diameter, radius, ecc, triangle or mincut)", param)
 	}
 	return nil
+}
+
+// onTriangle is the brute-force check that v lies on a triangle.
+func onTriangle(g *qcongest.Graph, v int) bool {
+	nbs := g.Neighbors(v)
+	for i, a := range nbs {
+		for _, b := range nbs[i+1:] {
+			if g.HasEdge(a, b) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // runWeightedDiameter handles -weighted with the default -param diameter:

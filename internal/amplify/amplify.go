@@ -81,6 +81,48 @@ func Search(phi *qsim.Sparse, marked func(int) bool, maxIterations int, rng *ran
 	return 0, c, ErrNotFound
 }
 
+// FindAll finds every marked element in the support of phi by repeated
+// amplitude-amplified search, excluding each found element from the marked
+// set before the next pass. Each pass gets the Theorem 6 budget for the
+// smallest nonempty marked set (one element, mass 1/|support|), boosted by
+// ceil(ln(1/delta)); the procedure stops at the first fruitless pass, so a
+// complete run performs |M|+1 searches. The found elements are returned in
+// discovery order (measurement-driven, so seed-dependent but deterministic
+// for a fixed rng stream).
+func FindAll(phi *qsim.Sparse, marked func(int) bool, delta float64, rng *rand.Rand) ([]int, Counters, error) {
+	var c Counters
+	if delta <= 0 || delta >= 1 {
+		return nil, c, fmt.Errorf("amplify: delta %g out of (0,1)", delta)
+	}
+	support := phi.Support()
+	if len(support) == 0 {
+		return nil, c, qsim.ErrEmptyDomain
+	}
+	boost := math.Ceil(math.Log(1 / delta))
+	if boost < 1 {
+		boost = 1
+	}
+	budget := int(boost*math.Ceil(3*math.Sqrt(float64(len(support))))) + 1
+
+	found := make(map[int]bool, 4)
+	var out []int
+	for len(out) < len(support) {
+		residual := func(x int) bool { return marked(x) && !found[x] }
+		x, pass, err := Search(phi, residual, budget, rng)
+		c.add(pass)
+		switch {
+		case err == nil:
+			found[x] = true
+			out = append(out, x)
+		case errors.Is(err, ErrNotFound):
+			return out, c, nil
+		default:
+			return out, c, err
+		}
+	}
+	return out, c, nil
+}
+
 // MaxResult is the outcome of FindMax.
 type MaxResult struct {
 	Argmax   int

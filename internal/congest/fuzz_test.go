@@ -101,6 +101,11 @@ func FuzzWireMessage(f *testing.F) {
 	f.Add(uint8(KindWDist), uint16(40), []byte{0x10, 0x27})
 	f.Add(uint8(KindRaw), uint16(9), []byte{0x00, 0x11, 0x22, 0x33})
 	f.Add(uint8(KindChild), uint16(2), []byte{})
+	f.Add(uint8(KindAdj), uint16(40), []byte{0x1f})
+	f.Add(uint8(KindSide), uint16(12), []byte{0x01})
+	f.Add(uint8(KindCutSum), uint16(40), []byte{0x7f}) // 127 < bound: clean
+	f.Add(uint8(KindCutSum), uint16(40), []byte{0xff}) // 255 > bound: id range error
+	f.Add(uint8(KindCutSum), uint16(1000), []byte{})   // truncated
 	f.Fuzz(func(t *testing.T, kindByte uint8, nRaw uint16, data []byte) {
 		k := Kind(kindByte % numKinds)
 		if !Registered(k) {
@@ -118,6 +123,8 @@ func FuzzWireMessage(f *testing.F) {
 		case *msgWDist:
 			wm.Bound = bound
 		case *msgWMax:
+			wm.Bound = bound
+		case *msgCutSum:
 			wm.Bound = bound
 		}
 		words := wordsFromBytes(data)
@@ -141,6 +148,8 @@ func FuzzWireMessage(f *testing.F) {
 		case *msgWDist:
 			wm.Bound = bound
 		case *msgWMax:
+			wm.Bound = bound
+		case *msgCutSum:
 			wm.Bound = bound
 		}
 		r2 := Reader{N: n, words: w.words, off: 0, end: w.Len()}

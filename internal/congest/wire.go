@@ -30,7 +30,7 @@ const KindBits = 5
 // numKinds is the size of the kind space (tags must fit in KindBits bits).
 const numKinds = 1 << KindBits
 
-// The message kinds shipped with this package. Kinds 16..31 are free for
+// The message kinds shipped with this package. Kinds 18..31 are free for
 // external programs (see RegisterKind and the qcongest facade).
 const (
 	kindInvalid   Kind = iota
@@ -48,6 +48,9 @@ const (
 	KindRaw            // wire.go: opaque filler of a declared width (tests, capacity probes)
 	KindWDist          // weighted.go: Bellman–Ford weighted-distance relaxation
 	KindWMax           // weighted.go: weighted max convergecast (value, witness)
+	KindAdj            // triangle.go: adjacency announcement (one id)
+	KindSide           // cut.go: mark-flood side bit
+	KindCutSum         // cut.go: crossing-weight sum convergecast (Bound-ranged)
 )
 
 // WireMessage is a message that can be encoded to and decoded from the wire

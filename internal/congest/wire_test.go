@@ -153,6 +153,9 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 		&RawMessage{Width: 17},
 		&msgWDist{Dist: 300, Bound: 450},
 		&msgWMax{Value: 301, Witness: 42, Bound: 450},
+		&msgAdj{ID: 42},
+		&msgSide{Marked: true},
+		&msgCutSum{Sum: 512, Bound: 600},
 	}
 	covered := map[Kind]bool{}
 	var w Writer
@@ -189,6 +192,8 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 			got.(*msgWDist).Bound = s.Bound
 		case *msgWMax:
 			got.(*msgWMax).Bound = s.Bound
+		case *msgCutSum:
+			got.(*msgCutSum).Bound = s.Bound
 		}
 		var r Reader
 		view.payloadReader(&r, n)

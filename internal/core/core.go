@@ -27,11 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"qcongest/internal/congest"
 	"qcongest/internal/graph"
-	"qcongest/internal/qcongest"
+	"qcongest/internal/query"
 )
 
 // Result reports a quantum diameter computation together with its measured
@@ -105,11 +104,33 @@ func trivialDiameter(g *graph.Graph) (Result, error) {
 
 // evalContext is one independent Evaluation context: the sessions backing
 // eval share no mutable state with any other context, so distinct contexts
-// may evaluate concurrently (each one still evaluates serially).
+// may evaluate concurrently (each one still evaluates serially). Its Eval
+// and Close methods implement query.Context.
 type evalContext struct {
 	eval  func(u0 int) (value, rounds int, err error)
 	close func()
 }
+
+// Eval implements query.Context.
+func (c *evalContext) Eval(x int) (value, rounds int, err error) { return c.eval(x) }
+
+// Close implements query.Context.
+func (c *evalContext) Close() { c.close() }
+
+// ctxOracle adapts an evalContext factory plus the measured framework costs
+// into a query.Oracle — the bridge every entry point in this package crosses
+// into the shared query layer.
+type ctxOracle struct {
+	domain      []int
+	initRounds  int
+	setupRounds int
+	newCtx      func() *evalContext
+}
+
+func (o ctxOracle) Domain() []int             { return o.domain }
+func (o ctxOracle) InitRounds() int           { return o.initRounds }
+func (o ctxOracle) SetupRounds() int          { return o.setupRounds }
+func (o ctxOracle) NewContext() query.Context { return o.newCtx() }
 
 // ExactDiameterSimple runs the Section 3.1 algorithm: quantum maximum
 // finding over f(u) = ecc(u) with P_opt >= 1/n, giving Õ(sqrt(n)·D) rounds.
@@ -372,67 +393,34 @@ func weightedEccContext(topo *congest.Topology, info *congest.PreInfo, opts Opti
 	}
 }
 
+// runOptimization runs quantum maximum (or minimum) finding over the
+// Evaluation family through the shared query layer; the golden tests pin
+// this path to the pre-refactor outputs bit for bit.
 func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, error) {
-	parallel := p.parallel
-	if parallel < 1 {
-		parallel = 1
+	oracle := ctxOracle{
+		domain:      p.domain,
+		initRounds:  p.initRounds,
+		setupRounds: p.setupRounds,
+		newCtx:      newCtx,
 	}
-	pool, _ := congest.NewPool(parallel, func(int) (*evalContext, error) { return newCtx(), nil })
-	defer pool.Close(func(c *evalContext) { c.close() })
-
-	evaluate := pool.Get(0).eval
+	qopts := query.Options{Delta: p.delta, Seed: p.seed, Parallel: p.parallel}
+	var qr query.Result
+	var err error
 	if p.minimize {
-		inner := evaluate
-		evaluate = func(u0 int) (int, int, error) {
-			v, r, err := inner(u0)
-			return -v, r, err
-		}
+		qr, err = query.Minimum(oracle, p.eps, qopts)
+	} else {
+		qr, err = query.Maximum(oracle, p.eps, qopts)
 	}
-	opt := &qcongest.Optimizer{
-		Domain:      p.domain,
-		Evaluate:    evaluate,
-		InitRounds:  p.initRounds,
-		SetupRounds: p.setupRounds,
-		Eps:         p.eps,
-		Delta:       p.delta,
-		Rng:         rand.New(rand.NewSource(p.seed)),
-	}
-	if parallel > 1 {
-		// Precompute every domain value on the pool. The amplification then
-		// runs entirely against the memoized table; since evaluations are
-		// deterministic, the Result is the one sequential evaluation yields.
-		opt.Batch = func(domain []int) ([]int, []int, error) {
-			values := make([]int, len(domain))
-			rounds := make([]int, len(domain))
-			err := pool.Do(len(domain), func(j int, c *evalContext) error {
-				v, r, err := c.eval(domain[j])
-				if err != nil {
-					return fmt.Errorf("evaluate %d: %w", domain[j], err)
-				}
-				if p.minimize {
-					v = -v
-				}
-				values[j], rounds[j] = v, r
-				return nil
-			})
-			return values, rounds, err
-		}
-	}
-	qr, err := opt.Run()
 	if err != nil {
 		return Result{}, err
 	}
-	value := qr.Value
-	if p.minimize {
-		value = -value
-	}
 	return Result{
-		Diameter:     value,
+		Diameter:     qr.Value,
 		Rounds:       qr.Rounds,
-		InitRounds:   p.initRounds,
-		SetupRounds:  p.setupRounds,
-		EvalRounds:   qr.ClassicalEvalRounds,
-		Iterations:   qr.Counters.GroverIterations,
+		InitRounds:   qr.InitRounds,
+		SetupRounds:  qr.SetupRounds,
+		EvalRounds:   qr.EvalRounds,
+		Iterations:   qr.Iterations,
 		LeaderQubits: qr.LeaderQubits,
 		NodeQubits:   qr.NodeQubits,
 	}, nil

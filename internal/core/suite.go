@@ -19,10 +19,10 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"qcongest/internal/congest"
 	"qcongest/internal/graph"
+	"qcongest/internal/query"
 )
 
 // trivialWeighted handles the n <= 2 cases of the weighted parameters: for
@@ -179,36 +179,23 @@ func Eccentricities(g *graph.Graph, opts Options) (EccResult, error) {
 	if err != nil {
 		return EccResult{}, err
 	}
-	newCtx := eccContextFor(g, topo, info, opts)
-
-	parallel := opts.Parallel
-	if parallel < 1 {
-		parallel = 1
+	oracle := ctxOracle{
+		domain:      identityDomain(n),
+		initRounds:  pre.Rounds,
+		setupRounds: info.D + 1,
+		newCtx:      eccContextFor(g, topo, info, opts),
 	}
-	pool, _ := congest.NewPool(parallel, func(int) (*evalContext, error) { return newCtx(), nil })
-	defer pool.Close(func(c *evalContext) { c.close() })
-
-	res := EccResult{Ecc: make([]int, n), InitRounds: pre.Rounds}
-	rounds := make([]int, n)
-	if err := pool.Do(n, func(v int, c *evalContext) error {
-		value, r, err := c.eval(v)
-		if err != nil {
-			return err
-		}
-		res.Ecc[v], rounds[v] = value, r
-		return nil
-	}); err != nil {
+	// The straight-line use of the query layer: one Evaluation per vertex,
+	// batched over cloned sessions, with the per-vertex cost uniformity (the
+	// property the quantum queries rely on) asserted by EvalAll.
+	ecc, evalRounds, err := query.EvalAll(oracle, query.Options{Seed: opts.Seed, Parallel: opts.Parallel})
+	if err != nil {
 		return EccResult{}, err
 	}
-	// The Evaluation durations are fixed, so every per-vertex cost is the
-	// same count; assert it (the property the quantum optimizations rely on)
-	// and report the straight-line total.
-	res.EvalRounds = rounds[0]
-	for v, r := range rounds {
-		if r != res.EvalRounds {
-			return EccResult{}, fmt.Errorf("core: evaluation cost depends on input: %d rounds at vertex %d, %d at vertex 0", r, v, res.EvalRounds)
-		}
-	}
-	res.Rounds = res.InitRounds + n*res.EvalRounds
-	return res, nil
+	return EccResult{
+		Ecc:        ecc,
+		Rounds:     pre.Rounds + n*evalRounds,
+		InitRounds: pre.Rounds,
+		EvalRounds: evalRounds,
+	}, nil
 }

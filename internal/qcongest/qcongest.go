@@ -121,47 +121,10 @@ func (o *Optimizer) Run() (Result, error) {
 	}
 
 	// Memoize the distributed evaluation and enforce round uniformity.
-	values := make(map[int]int, len(o.Domain))
-	classicalRounds := -1
-	var evalErr error
-	f := func(x int) int {
-		if v, ok := values[x]; ok {
-			return v
-		}
-		v, r, err := o.Evaluate(x)
-		if err != nil && evalErr == nil {
-			evalErr = fmt.Errorf("evaluate %d: %w", x, err)
-			return 0
-		}
-		if classicalRounds == -1 {
-			classicalRounds = r
-		} else if r != classicalRounds && evalErr == nil {
-			evalErr = fmt.Errorf("%w: %d rounds for input %d, %d before",
-				ErrInconsistentRounds, r, x, classicalRounds)
-		}
-		values[x] = v
-		return v
-	}
-
-	// Batched mode: fill the memo table for the whole domain before the
-	// amplification starts, enforcing the same round-uniformity contract.
+	memo := newEvalMemo(o.Evaluate, len(o.Domain))
 	if o.Batch != nil {
-		vals, rounds, err := o.Batch(o.Domain)
-		if err != nil {
+		if err := memo.fill(o.Domain, o.Batch); err != nil {
 			return res, err
-		}
-		if len(vals) != len(o.Domain) || len(rounds) != len(o.Domain) {
-			return res, fmt.Errorf("qcongest: Batch returned %d values and %d round counts for %d inputs",
-				len(vals), len(rounds), len(o.Domain))
-		}
-		for i, x := range o.Domain {
-			values[x] = vals[i]
-			if classicalRounds == -1 {
-				classicalRounds = rounds[i]
-			} else if rounds[i] != classicalRounds {
-				return res, fmt.Errorf("%w: %d rounds for input %d, %d before",
-					ErrInconsistentRounds, rounds[i], x, classicalRounds)
-			}
 		}
 	}
 
@@ -169,24 +132,20 @@ func (o *Optimizer) Run() (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	mr, err := amplify.FindMax(phi, f, o.Eps, o.Delta, o.Rng)
+	mr, err := amplify.FindMax(phi, memo.f, o.Eps, o.Delta, o.Rng)
 	if err != nil {
 		return res, err
 	}
-	if evalErr != nil {
-		return res, evalErr
+	if memo.err != nil {
+		return res, memo.err
 	}
 
-	overhead := o.EvalOverhead
-	if overhead == nil {
-		overhead = func(c int) int { return 2*c + 1 }
-	}
-	evalApp := overhead(classicalRounds)
+	evalApp := applyOverhead(o.EvalOverhead, memo.classicalRounds)
 
 	res.Argmax = mr.Argmax
 	res.Value = mr.Value
 	res.Counters = mr.Counters
-	res.ClassicalEvalRounds = classicalRounds
+	res.ClassicalEvalRounds = memo.classicalRounds
 	res.EvalApplicationRounds = evalApp
 	res.Rounds = o.InitRounds +
 		mr.Counters.SetupCalls*o.SetupRounds +
@@ -194,12 +153,89 @@ func (o *Optimizer) Run() (Result, error) {
 
 	// Memory accounting (Theorem 7): O(log|X|) working qubits per node,
 	// plus an O(log|X|)-qubit record per phase at the leader.
-	logX := int(math.Ceil(math.Log2(float64(len(o.Domain) + 1))))
-	if logX < 1 {
-		logX = 1
-	}
+	logX := domainLabelBits(len(o.Domain))
 	logEps := int(math.Ceil(math.Log2(1/o.Eps))) + 1
 	res.NodeQubits = 5 * logX
 	res.LeaderQubits = res.NodeQubits + logX*logEps
 	return res, nil
+}
+
+// domainLabelBits is the width of one internal-register label:
+// ceil(log2(|X|+1)), at least 1.
+func domainLabelBits(domainSize int) int {
+	logX := int(math.Ceil(math.Log2(float64(domainSize + 1))))
+	if logX < 1 {
+		logX = 1
+	}
+	return logX
+}
+
+// applyOverhead converts one classical execution into one reversible
+// application: compute, copy out, uncompute = 2x classical + 1 by default.
+func applyOverhead(overhead func(int) int, classicalRounds int) int {
+	if overhead == nil {
+		return 2*classicalRounds + 1
+	}
+	return overhead(classicalRounds)
+}
+
+// evalMemo memoizes a distributed Evaluation and enforces the Theorem 7
+// round-uniformity contract: every input must cost the same measured round
+// count, else superposed execution would be ill-defined. It is shared by the
+// Optimizer and the Searcher, whose amplification layers consume plain
+// func(int) int value oracles.
+type evalMemo struct {
+	values          map[int]int
+	classicalRounds int
+	err             error
+	evaluate        EvalProc
+}
+
+func newEvalMemo(evaluate EvalProc, size int) *evalMemo {
+	return &evalMemo{values: make(map[int]int, size), classicalRounds: -1, evaluate: evaluate}
+}
+
+// f evaluates one input through the memo table, recording the first error
+// and any round-uniformity violation.
+func (m *evalMemo) f(x int) int {
+	if v, ok := m.values[x]; ok {
+		return v
+	}
+	v, r, err := m.evaluate(x)
+	if err != nil && m.err == nil {
+		m.err = fmt.Errorf("evaluate %d: %w", x, err)
+		return 0
+	}
+	if m.classicalRounds == -1 {
+		m.classicalRounds = r
+	} else if r != m.classicalRounds && m.err == nil {
+		m.err = fmt.Errorf("%w: %d rounds for input %d, %d before",
+			ErrInconsistentRounds, r, x, m.classicalRounds)
+	}
+	m.values[x] = v
+	return v
+}
+
+// fill runs the batched evaluation for the whole domain up front (the
+// amplification then runs entirely against the memo table), enforcing the
+// same round-uniformity contract.
+func (m *evalMemo) fill(domain []int, batch func(domain []int) (values, rounds []int, err error)) error {
+	vals, rounds, err := batch(domain)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(domain) || len(rounds) != len(domain) {
+		return fmt.Errorf("qcongest: Batch returned %d values and %d round counts for %d inputs",
+			len(vals), len(rounds), len(domain))
+	}
+	for i, x := range domain {
+		m.values[x] = vals[i]
+		if m.classicalRounds == -1 {
+			m.classicalRounds = rounds[i]
+		} else if rounds[i] != m.classicalRounds {
+			return fmt.Errorf("%w: %d rounds for input %d, %d before",
+				ErrInconsistentRounds, rounds[i], x, m.classicalRounds)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,194 @@
+package qcongest
+
+// Distributed quantum search and counting — the Theorem 6 companions of the
+// Optimizer: the same Theorem 7 cost model (a leader runs amplitude
+// amplification whose Setup and Evaluation black boxes are distributed
+// procedures), with the Dürr–Høyer threshold climb replaced by one BBHT
+// search for a marked element, or by the search-and-exclude loop that
+// enumerates all of them. The marked set is defined through a predicate on
+// the distributed Evaluation's value, so callers express "find a vertex
+// whose local predicate holds" without any new distributed machinery.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"qcongest/internal/amplify"
+	"qcongest/internal/qsim"
+)
+
+// Searcher configures one distributed quantum search (Theorem 6 run under
+// the Theorem 7 cost accounting). The fields mirror Optimizer; Marked
+// classifies the Evaluation's value.
+type Searcher struct {
+	// Domain is the set X: the basis labels of the internal register.
+	Domain []int
+	// Evaluate is the distributed Evaluation procedure.
+	Evaluate EvalProc
+	// Marked classifies an Evaluation value as marked.
+	Marked func(value int) bool
+	// InitRounds is T0, the measured cost of Initialization.
+	InitRounds int
+	// SetupRounds is the cost of one Setup application.
+	SetupRounds int
+	// EvalOverhead converts one classical execution into one reversible
+	// application (default 2x classical + 1, like Optimizer).
+	EvalOverhead func(classicalRounds int) int
+	// Batch, when non-nil, memoizes the whole domain up front (see
+	// Optimizer.Batch; the trajectory and accounting are unchanged).
+	Batch func(domain []int) (values, rounds []int, err error)
+	// Delta is the allowed failure probability.
+	Delta float64
+	// Rng drives measurements; required.
+	Rng *rand.Rand
+}
+
+// SearchOutcome reports a search or count together with its costs.
+type SearchOutcome struct {
+	// Found reports whether a marked element was measured. A false Found is
+	// the Theorem 6 guarantee "M is empty with probability >= 1-delta".
+	Found bool
+	// X and Value are the found element and its Evaluation value (valid when
+	// Found).
+	X     int
+	Value int
+	// All lists every marked element in discovery order and Count its size
+	// (RunCount only; Run leaves them empty).
+	All   []int
+	Count int
+	// Rounds is the total distributed round complexity per Theorem 7:
+	// T0 + SetupCalls*SetupRounds + EvaluationCalls*EvalApplicationRounds.
+	Rounds int
+	// EvalApplicationRounds is the cost of one reversible Evaluation.
+	EvalApplicationRounds int
+	// ClassicalEvalRounds is the measured cost of one classical execution.
+	ClassicalEvalRounds int
+	// Counters are the black-box application counts.
+	Counters amplify.Counters
+	// LeaderQubits and NodeQubits follow the Theorem 7 accounting: O(log|X|)
+	// working qubits per node; the leader additionally holds one current
+	// candidate label (the found set of RunCount is classical memory — each
+	// element is measured before it is recorded).
+	LeaderQubits int
+	NodeQubits   int
+}
+
+func (s *Searcher) validate() error {
+	if len(s.Domain) == 0 {
+		return qsim.ErrEmptyDomain
+	}
+	if s.Rng == nil {
+		return errors.New("qcongest: nil Rng")
+	}
+	if s.Evaluate == nil {
+		return errors.New("qcongest: nil Evaluate")
+	}
+	if s.Marked == nil {
+		return errors.New("qcongest: nil Marked")
+	}
+	if s.Delta <= 0 || s.Delta >= 1 {
+		return errors.New("qcongest: Delta out of (0,1)")
+	}
+	return nil
+}
+
+// budget is the Theorem 6 iteration budget calibrated to the smallest
+// nonempty marked set (one element, mass 1/|X|), boosted by ceil(ln(1/delta))
+// — the same shape FindMax uses per phase.
+func (s *Searcher) budget() int {
+	boost := math.Ceil(math.Log(1 / s.Delta))
+	if boost < 1 {
+		boost = 1
+	}
+	return int(boost*math.Ceil(3*math.Sqrt(float64(len(s.Domain))))) + 1
+}
+
+func (s *Searcher) prepare() (*evalMemo, *qsim.Sparse, error) {
+	if err := s.validate(); err != nil {
+		return nil, nil, err
+	}
+	memo := newEvalMemo(s.Evaluate, len(s.Domain))
+	if s.Batch != nil {
+		if err := memo.fill(s.Domain, s.Batch); err != nil {
+			return nil, nil, err
+		}
+	}
+	phi, err := qsim.NewUniform(s.Domain)
+	if err != nil {
+		return nil, nil, err
+	}
+	return memo, phi, nil
+}
+
+func (s *Searcher) finish(res *SearchOutcome, memo *evalMemo) error {
+	if memo.err != nil {
+		return memo.err
+	}
+	evalApp := applyOverhead(s.EvalOverhead, memo.classicalRounds)
+	res.ClassicalEvalRounds = memo.classicalRounds
+	res.EvalApplicationRounds = evalApp
+	res.Rounds = s.InitRounds +
+		res.Counters.SetupCalls*s.SetupRounds +
+		res.Counters.EvaluationCalls*evalApp
+	logX := domainLabelBits(len(s.Domain))
+	res.NodeQubits = 5 * logX
+	res.LeaderQubits = res.NodeQubits + logX
+	return nil
+}
+
+// Run performs one BBHT search for a marked element. A not-found outcome is
+// reported through Found=false, not an error: the costs of the fruitless
+// amplification are real rounds and the caller gets them.
+func (s *Searcher) Run() (SearchOutcome, error) {
+	var res SearchOutcome
+	memo, phi, err := s.prepare()
+	if err != nil {
+		return res, err
+	}
+	marked := func(x int) bool { return s.Marked(memo.f(x)) }
+	x, c, err := amplify.Search(phi, marked, s.budget(), s.Rng)
+	res.Counters = c
+	switch {
+	case err == nil:
+		res.Found = true
+		res.X = x
+		res.Value = memo.f(x)
+	case errors.Is(err, amplify.ErrNotFound):
+		// Found stays false.
+	default:
+		return res, err
+	}
+	if err := s.finish(&res, memo); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunCount enumerates every marked element by the search-and-exclude loop
+// (amplify.FindAll) and reports the exact count, with every search pass
+// charged per Theorem 7.
+func (s *Searcher) RunCount() (SearchOutcome, error) {
+	var res SearchOutcome
+	memo, phi, err := s.prepare()
+	if err != nil {
+		return res, err
+	}
+	marked := func(x int) bool { return s.Marked(memo.f(x)) }
+	all, c, err := amplify.FindAll(phi, marked, s.Delta, s.Rng)
+	res.Counters = c
+	if err != nil {
+		return res, err
+	}
+	res.All = all
+	res.Count = len(all)
+	if res.Count > 0 {
+		res.Found = true
+		res.X = all[0]
+		res.Value = memo.f(all[0])
+	}
+	if err := s.finish(&res, memo); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -167,7 +167,7 @@ type (
 	WireReader = congest.Reader
 	// WireView is a read-only window onto one encoded message.
 	WireView = congest.WireView
-	// MessageKind tags a wire-message type; kinds 16..31 are free for
+	// MessageKind tags a wire-message type; kinds 18..31 are free for
 	// external programs.
 	MessageKind = congest.Kind
 )
@@ -299,6 +299,38 @@ type EccentricitiesResult = core.EccResult
 // independent Evaluations onto cloned sessions deterministically.
 func Eccentricities(g *Graph, opts QuantumOptions) (EccentricitiesResult, error) {
 	return core.Eccentricities(g, opts)
+}
+
+// The query-framework workloads: beyond distance parameters, any vertex-local
+// predicate or value family with an input-independent Evaluation cost can be
+// searched, counted, or minimized by the same quantum machinery
+// (internal/query). Triangle detection and the minimum tree cut are the two
+// built-in examples.
+
+// TriangleResult reports a triangle search or count with its measured cost.
+type TriangleResult = core.TriangleResult
+
+// TriangleDetect decides whether the graph contains a triangle by quantum
+// search over the vertex-local triangle predicate (one adjacency probe during
+// preprocessing, one convergecast per Evaluation).
+func TriangleDetect(g *Graph, opts QuantumOptions) (TriangleResult, error) {
+	return core.TriangleDetect(g, opts)
+}
+
+// TriangleCount lists every vertex lying on a triangle by the quantum
+// search-and-exclude loop over the same predicate.
+func TriangleCount(g *Graph, opts QuantumOptions) (TriangleResult, error) {
+	return core.TriangleCount(g, opts)
+}
+
+// CutResult reports a minimum tree cut with its measured cost.
+type CutResult = core.CutResult
+
+// MinTreeCut computes the minimum-weight BFS-tree cut by quantum minimum
+// finding over the per-subtree crossing weights (a mark flood plus a sum
+// convergecast per Evaluation).
+func MinTreeCut(g *Graph, opts QuantumOptions) (CutResult, error) {
+	return core.MinTreeCut(g, opts)
 }
 
 // ClassicalEccentricities computes every vertex's eccentricity classically
