@@ -1,19 +1,23 @@
-// Metropolis: a sparse million-vertex grid, end to end. The seed of this
-// repository simulated CONGEST networks of a few hundred vertices; this
-// example builds a 1000x1000 grid (one allocation-lean generator call),
-// packs it into CSR form for a memory-frugal distance oracle, and then runs
-// a real distributed BFS flood over all 10^6 nodes on the frontier
-// scheduler — the engine executes only the expanding wave each round, so
-// the wall-clock cost is the ~4M delivered messages, not the ~2 x 10^9
-// vertex-round pairs the dense engine would grind through.
+// Metropolis: a sparse multi-million-vertex grid, end to end. The seed of
+// this repository simulated CONGEST networks of a few hundred vertices;
+// this example streams a grid's edges straight into CSR arenas (no
+// per-vertex adjacency slices ever exist), builds the engine Topology
+// directly from the packed form, and then runs a real distributed BFS
+// flood over every node on the frontier scheduler — the engine executes
+// only the expanding wave each round, so the wall-clock cost is the
+// delivered messages, not the n x rounds vertex-round pairs the dense
+// engine would grind through. At -n 10000000 the whole build (stream,
+// oracle, topology) is a few seconds; the dense engine could not even
+// touch that regime.
 //
 // The flood program is written against the public CONGEST programming
 // layer (a custom wire kind from the user-reserved range plus the
 // CongestScheduled activity contract), so it doubles as a template for
 // frontier-friendly user programs.
 //
-//	go run ./examples/metropolis            # 1M vertices, frontier
-//	go run ./examples/metropolis -side 300  # smaller
+//	go run ./examples/metropolis                 # 1M vertices, frontier
+//	go run ./examples/metropolis -n 10000000     # 10M vertices
+//	go run ./examples/metropolis -side 300       # smaller
 //	go run ./examples/metropolis -side 300 -sched dense
 package main
 
@@ -21,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"time"
 
 	"qcongest"
@@ -95,37 +100,44 @@ func (f *floodNode) NextWake(env *qcongest.CongestEnv, round int) int {
 func main() {
 	var (
 		side    = flag.Int("side", 1000, "grid side (side*side vertices)")
+		nFlag   = flag.Int("n", 0, "target vertex count (overrides -side with floor(sqrt(n)))")
 		workers = flag.Int("workers", 0, "engine workers (0 = auto)")
 		sched   = flag.String("sched", "frontier", "round scheduler: frontier|dense")
 	)
 	flag.Parse()
+	if *nFlag > 0 {
+		*side = int(math.Sqrt(float64(*nFlag)))
+	}
 
-	// 1. Build: the generator preallocates the adjacency arena, so even
-	// the million-vertex grid is a handful of allocations.
+	// 1. Build: stream the grid's edges straight into the packed CSR form —
+	// a degree pass and a placement pass over the generator's edge order,
+	// three array allocations total, no intermediate adjacency slices.
 	start := time.Now()
-	g := qcongest.Grid(*side, *side)
-	buildT := time.Since(start)
-	fmt.Printf("grid %dx%d: n=%d m=%d built in %v\n", *side, *side, g.N(), g.M(), buildT)
-
-	// 2. Oracle: pack into CSR (three flat int32 arrays) and BFS from the
-	// corner without allocating per-vertex structures.
-	start = time.Now()
-	csr, err := g.BuildCSR()
+	csr, err := qcongest.BuildCSRFromStream((*side)*(*side), qcongest.GridEdges(*side, *side))
 	if err != nil {
 		log.Fatal(err)
 	}
-	dist := make([]int32, g.N())
-	queue := make([]int32, g.N())
+	n := csr.N()
+	buildT := time.Since(start)
+	fmt.Printf("grid %dx%d: n=%d m=%d streamed into CSR in %v\n", *side, *side, n, csr.M(), buildT)
+
+	// 2. Oracle: BFS from the corner on the packed form, into two
+	// preallocated buffers.
+	start = time.Now()
+	dist := make([]int32, n)
+	queue := make([]int32, n)
 	reached, ecc := csr.BFSInto(0, dist, queue)
 	fmt.Printf("csr oracle: reached %d vertices, ecc(corner)=%d in %v\n", reached, ecc, time.Since(start))
 
-	// 3. Topology: validate once; the engine runs on the packed arenas.
+	// 3. Topology: built directly on the CSR — the offsets array is shared,
+	// the connectivity check is the same allocation-lean BFS, and no
+	// per-vertex graph object ever exists.
 	start = time.Now()
-	topo, err := qcongest.NewCongestTopology(g)
+	topo, err := qcongest.NewCongestTopologyFromCSR(csr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("topology built in %v\n", time.Since(start))
+	fmt.Printf("topology built in %v (total build %v)\n", time.Since(start), buildT+time.Since(start))
 
 	var schedOpt qcongest.EngineScheduler
 	switch *sched {
@@ -153,7 +165,7 @@ func main() {
 
 	// 5. Verify the distributed result against the oracle, every vertex.
 	bad := 0
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < n; v++ {
 		if nw.Node(v).(*floodNode).dist != int(dist[v]) {
 			bad++
 		}
@@ -161,5 +173,5 @@ func main() {
 	if bad != 0 {
 		log.Fatalf("distributed flood disagrees with the CSR oracle at %d vertices", bad)
 	}
-	fmt.Printf("verified: all %d distributed distances match the CSR oracle\n", g.N())
+	fmt.Printf("verified: all %d distributed distances match the CSR oracle\n", n)
 }

@@ -73,6 +73,7 @@ package congest
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -620,7 +621,7 @@ func newEngine(nw *Network) *engine {
 		// every vertex every round through the frontier machinery; run the
 		// leaner dense path instead — the semantics are identical anyway.
 		if len(always) < n {
-			e.fr = newFrontierState(n, e.k, always)
+			e.fr = newFrontierState(n, e.k, always, nw.nodes)
 		}
 	}
 	if e.k > 1 {
@@ -704,15 +705,11 @@ func (e *engine) sendShard(w int) {
 // finishSend merges the send half at the round barrier: it picks the
 // canonical error (the one at the smallest sender id — what a serial
 // execution hits first), folds the worker metric shards into the run
-// metrics, and replays the observer in canonical order.
-func (e *engine) finishSend() error { return e.finishSendFrom(nil) }
-
-// finishSendFrom is finishSend with an explicit sender set: the frontier
-// scheduler passes its sorted frontier so the observer replay iterates only
-// the vertices that actually ran the send half (their e.outs entries are
-// current; everything else is stale from earlier rounds). nil means all
-// vertices, the dense engine's order.
-func (e *engine) finishSendFrom(senders []int32) error {
+// metrics, and replays the observer in canonical order. On the frontier
+// path the replay iterates the frontier bitset, ascending — only those
+// vertices ran the send half (their e.outs entries are current; everything
+// else is stale from earlier rounds).
+func (e *engine) finishSend() error {
 	errW := -1
 	var sent, bitsTotal, maxEdge int
 	for w := range e.ws {
@@ -740,7 +737,7 @@ func (e *engine) finishSendFrom(senders []int32) error {
 		m.DroppedRounds++
 	}
 	if obs := e.nw.observer; obs != nil {
-		if senders == nil {
+		if e.fr == nil {
 			for v := 0; v < e.n; v++ {
 				for i := range e.outs[v] {
 					r := &e.outs[v][i]
@@ -748,11 +745,21 @@ func (e *engine) finishSendFrom(senders []int32) error {
 				}
 			}
 		} else {
-			for _, v32 := range senders {
-				v := int(v32)
-				for i := range e.outs[v] {
-					r := &e.outs[v][i]
-					obs(e.round, v, r.to, r.bits, r.wire)
+			cur := e.fr.cur
+			for si := range cur.sum {
+				sw := cur.sum[si]
+				for sw != 0 {
+					wi := si<<6 + bits.TrailingZeros64(sw)
+					sw &= sw - 1
+					word := cur.words[wi]
+					for word != 0 {
+						v := wi<<6 + bits.TrailingZeros64(word)
+						word &= word - 1
+						for i := range e.outs[v] {
+							r := &e.outs[v][i]
+							obs(e.round, v, r.to, r.bits, r.wire)
+						}
+					}
 				}
 			}
 		}

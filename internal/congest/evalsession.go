@@ -15,6 +15,7 @@ import "fmt"
 // fixed tree, re-runnable from a different start vertex per execution.
 type WalkSession struct {
 	s     *Session
+	tw    []*TokenWalkNode // the programs, pre-asserted for the tau read-out
 	steps int
 	tau   []int
 }
@@ -23,12 +24,23 @@ type WalkSession struct {
 // described by info with the given per-node child lists. The start vertex
 // is an Eval argument, not fixed here.
 func NewWalkSession(topo *Topology, info *PreInfo, children [][]int, steps int, opts ...Option) *WalkSession {
-	return &WalkSession{
+	ws := &WalkSession{
 		s: NewSession(topo, func(v int) Node {
 			return NewTokenWalkNode(info.Parent[v], children[v], info.Leader, -1, steps)
 		}, opts...),
 		steps: steps,
 		tau:   make([]int, topo.N()),
+	}
+	ws.cacheNodes()
+	return ws
+}
+
+// cacheNodes pre-asserts the node programs so the per-Eval tau read-out is
+// a pointer chase, not n interface assertions.
+func (ws *WalkSession) cacheNodes() {
+	ws.tw = make([]*TokenWalkNode, len(ws.tau))
+	for v := range ws.tw {
+		ws.tw[v] = ws.s.Node(v).(*TokenWalkNode)
 	}
 }
 
@@ -42,15 +54,17 @@ func (ws *WalkSession) Eval(start int) ([]int, Metrics, error) {
 	if err := ws.s.Run(ws.steps + 4); err != nil {
 		return nil, ws.s.Metrics(), fmt.Errorf("token walk: %w", err)
 	}
-	for v := range ws.tau {
-		ws.tau[v] = ws.s.Node(v).(*TokenWalkNode).Tau
+	for v, tw := range ws.tw {
+		ws.tau[v] = tw.Tau
 	}
 	return ws.tau, ws.s.Metrics(), nil
 }
 
 // Clone builds an independent walk session over the same shared topology.
 func (ws *WalkSession) Clone() *WalkSession {
-	return &WalkSession{s: ws.s.Clone(), steps: ws.steps, tau: make([]int, len(ws.tau))}
+	c := &WalkSession{s: ws.s.Clone(), steps: ws.steps, tau: make([]int, len(ws.tau))}
+	c.cacheNodes()
+	return c
 }
 
 // Close releases the session's engine.

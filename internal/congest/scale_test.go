@@ -1,0 +1,153 @@
+package congest
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"qcongest/internal/graph"
+)
+
+// capFloodNode is the 10M-vertex capacity workload: a BFS wave from the
+// corner, truncated at a deadline round so the test exercises frontier
+// growth, a bulk timer wake (every unreached vertex fires at the deadline
+// — the worst case for wake-bucket drains) and clean quiescence, without
+// paying for the full ~6300-round flood.
+type capFloodNode struct {
+	deadline int
+	dist     int // -1 until reached
+	pend     bool
+	done     bool
+	tx, rx   msgActivate
+}
+
+func (f *capFloodNode) Send(env *Env, out *Outbox) {
+	if env.Round > f.deadline {
+		return
+	}
+	if env.ID == 0 && f.dist == -1 {
+		f.dist = 0
+		f.pend = true
+	}
+	if !f.pend {
+		return
+	}
+	f.pend = false
+	f.tx.Dist = f.dist + 1
+	out.Broadcast(env.Neighbors, &f.tx)
+}
+
+func (f *capFloodNode) Receive(env *Env, inbox []Inbound) {
+	for i := range inbox {
+		in := &inbox[i]
+		if in.Kind != KindActivate || in.Decode(env, &f.rx) != nil {
+			continue
+		}
+		if f.dist == -1 || f.rx.Dist < f.dist {
+			f.dist = f.rx.Dist
+			f.pend = true
+		}
+	}
+	if env.Round >= f.deadline {
+		f.pend = false
+		f.done = true
+	}
+}
+
+func (f *capFloodNode) Done() bool     { return f.done }
+func (f *capFloodNode) StateBits() int { return 3 * 64 }
+func (f *capFloodNode) NextWake(env *Env, round int) int {
+	if f.done {
+		return NeverWake
+	}
+	if env.ID == 0 && f.dist == -1 {
+		return 1
+	}
+	if f.pend {
+		return round + 1
+	}
+	return f.deadline // deadline timer: everyone quiesces together
+}
+
+// TestCapacity10M is the scale smoke behind ROADMAP item 4: a 10M-vertex
+// grid streams into CSR form, becomes a Topology without ever
+// materializing a *graph.Graph, and runs 50 frontier rounds of a truncated
+// BFS flood whose result is verified against the packed-oracle BFS for
+// every vertex. Build time and peak heap are asserted, so a regression
+// that reintroduces O(n) per-vertex allocation or frontier bookkeeping
+// fails loudly. ~4 GB of memory and tens of seconds, so it is opt-in:
+//
+//	QCONGEST_CAPACITY_10M=1 go test -run TestCapacity10M -timeout 20m ./internal/congest
+func TestCapacity10M(t *testing.T) {
+	if os.Getenv("QCONGEST_CAPACITY_10M") == "" {
+		t.Skip("set QCONGEST_CAPACITY_10M=1 to run the 10M-vertex capacity test")
+	}
+	const (
+		side     = 3163 // 3163^2 = 10,004,569 vertices
+		deadline = 50
+	)
+	n := side * side
+
+	start := time.Now()
+	c, err := graph.BuildCSRFromStream(n, graph.GridEdges(side, side))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := NewTopologyFromCSR(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildT := time.Since(start)
+	t.Logf("built %d-vertex topology in %v", n, buildT)
+	if buildT > 30*time.Second {
+		t.Errorf("topology build took %v, want <= 30s", buildT)
+	}
+
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	if reached, _ := c.BFSInto(0, dist, queue); reached != n {
+		t.Fatalf("oracle BFS reached %d of %d vertices", reached, n)
+	}
+
+	// Two workers regardless of GOMAXPROCS: exercises the sharded frontier
+	// paths while staying within CI-runner memory.
+	nw := NewNetworkOn(topo, func(v int) Node { return &capFloodNode{deadline: deadline, dist: -1} },
+		WithScheduler(SchedulerFrontier), WithWorkers(2))
+	start = time.Now()
+	if err := nw.Run(deadline + 8); err != nil {
+		t.Fatal(err)
+	}
+	runT := time.Since(start)
+	m := nw.Metrics()
+	t.Logf("flood: rounds=%d messages=%d in %v (%.0f rounds/s)",
+		m.Rounds, m.Messages, runT, float64(m.Rounds)/runT.Seconds())
+	if m.Rounds != deadline {
+		t.Errorf("Rounds = %d, want %d (deadline quiescence)", m.Rounds, deadline)
+	}
+
+	// Every vertex the oracle puts within the deadline must have learned
+	// its exact distance; everything beyond must still be unreached.
+	bad := 0
+	for v := 0; v < n; v++ {
+		f := nw.Node(v).(*capFloodNode)
+		want := int(dist[v])
+		if want > deadline {
+			want = -1
+		}
+		if f.dist != want {
+			bad++
+		}
+	}
+	if bad != 0 {
+		t.Fatalf("truncated flood disagrees with the oracle at %d vertices", bad)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Logf("heap after run: %.2f GB", float64(ms.HeapAlloc)/(1<<30))
+	if ms.HeapAlloc > 8<<30 {
+		t.Errorf("HeapAlloc = %.2f GB, want <= 8 GB for the 10M capacity envelope",
+			float64(ms.HeapAlloc)/(1<<30))
+	}
+}

@@ -35,16 +35,45 @@ package congest
 // The scheduler-equivalence tests assert this across the whole program
 // suite, worker counts and session reuse, against RunReference.
 //
+// # Representation: hierarchical bitsets, shard-local everything
+//
+// The frontier and its accumulator are shardedBitsets (bitset.go): a
+// one-bit-per-vertex word layer under a one-bit-per-word summary layer.
+// Building, deduplicating and iterating the frontier is O(active/64 +
+// n/4096) — insertion dedupes in O(1), iteration chases set summary bits
+// with bits.TrailingZeros64, and there is no per-round sorting and no
+// steady-state allocation at all. Two bitsets double-buffer the rounds:
+// `cur` is the frontier being executed, `nxt` accumulates next round's
+// (receivers of this round, plus wakes due next round); buildFrontier is a
+// pointer swap plus the heap-due and always-on inserts.
+//
+// Vertices are split into k contiguous shards aligned to 4096 vertices
+// (64 words = one summary word), so every word either layer owns belongs
+// to exactly one worker. That makes all frontier bookkeeping shard-local:
+//
+//   - each worker has its own wake queue — a min-heap of round-keyed
+//     vertex buckets (wakeBucket) holding only its vertices — so NextWake
+//     registrations during the receive half write worker-private state and
+//     there is no barrier-time merge; bucketing makes the common bulk
+//     pattern (every vertex registers the same timer round) O(1) per
+//     vertex on both the register and the drain side;
+//   - receive-set accumulation is merge-free: every worker scans all
+//     workers' touched-receiver lists but claims only its own vertices,
+//     inserting them into its shard of `nxt` directly;
+//   - wake registrations are epoch-stamped (wake[v] = epoch<<32|round), so
+//     resetting a persistent engine between Session executions is one
+//     epoch increment, not an O(n) wipe.
+//
 // # Determinism
 //
 // The frontier is a deterministic function of the run history: receivers
 // are determined by the (deterministic) sends, self-wakes by program state,
-// and the always-active set by the program types. Worker shards iterate the
-// sorted frontier slice (worker w executes frontier[i] for i ≡ w mod k), so
-// per-worker delivery buffers stay ordered by ascending sender and the
-// round barrier's k-way merge, metrics fold and canonical error selection
-// work exactly as in the dense engine — outputs are bit-identical for every
-// worker count.
+// and the always-active set by the program types. Worker w executes its
+// contiguous vertex shard in ascending order, so per-worker delivery
+// buffers stay ordered by ascending sender, and the round barrier's k-way
+// inbox merge, metrics fold and canonical error selection work exactly as
+// in the dense engine — outputs are bit-identical for every worker count
+// and shard geometry.
 //
 // # Quiescence and idle-round accounting
 //
@@ -62,7 +91,7 @@ package congest
 
 import (
 	"fmt"
-	"slices"
+	"math/bits"
 )
 
 // Scheduler selects the engine's round-execution strategy.
@@ -124,27 +153,57 @@ type Scheduled interface {
 	NextWake(env *Env, round int) int
 }
 
-// wakeEntry is one pending self-wake: vertex v wants to run at round.
-type wakeEntry struct {
-	round int32
-	v     int32
+// wakeBucket groups one shard's pending self-wakes that share a target
+// round: the registrations wakeVs[off:end] of the owning shard's arena.
+// Programs overwhelmingly register wakes in runs of the same round (a
+// fixed-duration timer registers the deadline for every vertex, a
+// pipelined schedule the next stage), so bucketing makes both sides cheap:
+// registration appends to the shard's open bucket in O(1), and draining a
+// due bucket is O(1) per vertex — no per-entry heap sift-downs, which at
+// n=256k used to cost an O(n log n) storm in the round every timer fires.
+//
+// Bucket storage is a per-shard append-only arena: only the newest (open)
+// bucket grows and it is always the arena tail, so closing a bucket just
+// freezes its end offset. Nothing is freed mid-run — a reset truncates the
+// arena — so steady-state executions allocate nothing and there is no
+// arena-size churn.
+type wakeBucket struct {
+	round    int32
+	off, end int32 // wakeVs[off:end]; the open bucket's end is the arena tail
 }
 
-// frontierState is the engine's per-run frontier bookkeeping. All slices
-// are allocated once (newFrontierState) and recycled across rounds and —
+// noBucket marks an empty open-bucket slot.
+const noBucket = int32(-1)
+
+// shardWordAlign is the word-granularity a shard boundary must be aligned
+// to: 64 words = one summary word = 4096 vertices, so a shard owns whole
+// summary words and workers never write a shared bitset word.
+const shardWordAlign = 64
+
+// frontierState is the engine's per-run frontier bookkeeping. Everything
+// is allocated once (newFrontierState) and recycled across rounds and —
 // via reset — across the executions of a persistent Session engine, so
-// steady-state rounds and re-run Evaluations allocate nothing.
+// steady-state rounds and re-run Evaluations allocate nothing: the bitsets
+// are fixed arrays, the shard heap arenas are kept at capacity, and the
+// epoch stamps make the wake array reusable without wiping it.
 type frontierState struct {
+	k   int // worker count (shard count)
+	wps int // words per shard; multiple of shardWordAlign
+
 	alwaysOn []int32 // vertices without the Scheduled contract, ascending
 
-	wake []int32     // wake[v]: registered self-wake round (0 = none)
-	heap []wakeEntry // min-heap by (round, v); stale entries skipped via wake
+	cur *shardedBitset // the frontier executing the current round
+	nxt *shardedBitset // accumulator for the next round's frontier
 
-	cur    []int32 // the frontier executing the current round, sorted
-	recv   []int32 // cur ∪ this round's receivers, sorted
-	next   []int32 // accumulator for the next round's frontier (unsorted)
-	inNext []bool  // membership marks for next
-	inRecv []bool  // membership marks for recv
+	curCount int // |cur|, folded from the shard add-deltas
+	nxtCount int // |nxt| so far (coordinator's share; workers fold in deltas)
+
+	epoch uint64   // current execution's stamp epoch (see wake)
+	wake  []uint64 // wake[v] = epoch<<32|round of v's live registration
+
+	heaps  [][]wakeBucket // per-shard min-heaps of closed buckets, by round
+	open   []wakeBucket   // per-shard bucket currently receiving appends
+	wakeVs [][]int32      // per-shard append-only registration arenas
 
 	done    []bool // last observed Done() per vertex
 	notDone int
@@ -152,59 +211,121 @@ type frontierState struct {
 	preMax     int  // max initial StateBits over vertices outside frontier(1)
 	preSampled bool // preMax computed (at the first frontier build)
 
-	wakeBuf   [][]wakeEntry // per-worker NextWake answers, merged at the barrier
-	doneDelta []int         // per-worker notDone deltas
+	scheds []Scheduled // scheds[v] non-nil iff nodes[v] implements Scheduled
+	sizers []StateSizer
+
+	addDelta  []int // per-worker count of new nxt members this round
+	doneDelta []int // per-worker notDone deltas
 }
 
-func newFrontierState(n, k int, alwaysOn []int32) *frontierState {
-	return &frontierState{
+func newFrontierState(n, k int, alwaysOn []int32, nodes []Node) *frontierState {
+	nwords := (n + 63) >> 6
+	wps := (nwords + k - 1) / k
+	wps = (wps + shardWordAlign - 1) &^ (shardWordAlign - 1)
+	fr := &frontierState{
+		k:         k,
+		wps:       wps,
 		alwaysOn:  alwaysOn,
-		wake:      make([]int32, n),
-		inNext:    make([]bool, n),
-		inRecv:    make([]bool, n),
+		cur:       newShardedBitset(n),
+		nxt:       newShardedBitset(n),
+		wake:      make([]uint64, n),
+		heaps:     make([][]wakeBucket, k),
+		open:      make([]wakeBucket, k),
+		wakeVs:    make([][]int32, k),
 		done:      make([]bool, n),
-		wakeBuf:   make([][]wakeEntry, k),
+		scheds:    make([]Scheduled, n),
+		sizers:    make([]StateSizer, n),
+		addDelta:  make([]int, k),
 		doneDelta: make([]int, k),
 	}
+	for s := range fr.open {
+		fr.open[s].round = noBucket
+	}
+	// The interface assertions are hoisted here, once per engine, off the
+	// per-round and per-execution hot paths.
+	for v, nd := range nodes {
+		if sc, ok := nd.(Scheduled); ok {
+			fr.scheds[v] = sc
+		}
+		if s, ok := nd.(StateSizer); ok {
+			fr.sizers[v] = s
+		}
+	}
+	return fr
 }
 
-// reset prepares the state for a fresh execution on a persistent engine.
+// shardOf returns the worker that owns vertex v.
+func (fr *frontierState) shardOf(v int32) int { return int(uint32(v)>>6) / fr.wps }
+
+// shardWords returns worker w's word range [wlo, whi) over the bitset word
+// layer (empty for trailing shards past the end of a small vertex set).
+func (fr *frontierState) shardWords(w int) (wlo, whi int) {
+	nw := len(fr.cur.words)
+	wlo = w * fr.wps
+	if wlo > nw {
+		wlo = nw
+	}
+	whi = wlo + fr.wps
+	if whi > nw {
+		whi = nw
+	}
+	return wlo, whi
+}
+
+// stamp is the wake-array encoding of a live registration for round wk in
+// the current epoch; stampNone marks "no live registration" this epoch.
+// Entries from earlier epochs never match either, which is what makes
+// reset O(1).
+func (fr *frontierState) stamp(wk int) uint64 { return fr.epoch<<32 | uint64(uint32(wk)) }
+func (fr *frontierState) stampNone() uint64   { return fr.epoch << 32 }
+
+// reset prepares the state for a fresh execution on a persistent engine:
+// an epoch bump invalidates every wake stamp, the bucket arenas return to
+// their shard free lists, and the bitsets clear through their summary
+// layers — nothing is O(n).
 func (fr *frontierState) reset() {
-	for i := range fr.wake {
-		fr.wake[i] = 0
+	fr.epoch++
+	if fr.epoch == 1<<32 {
+		// 2^32 executions on one engine: renumber before epoch<<32|round
+		// could collide with an ancient stamp. Unreachable in practice.
+		fr.epoch = 1
+		clear(fr.wake)
 	}
-	fr.heap = fr.heap[:0]
-	fr.cur = fr.cur[:0]
-	fr.recv = fr.recv[:0]
-	for _, v := range fr.next {
-		fr.inNext[v] = false
+	for s := range fr.heaps {
+		fr.heaps[s] = fr.heaps[s][:0]
+		fr.wakeVs[s] = fr.wakeVs[s][:0]
+		fr.open[s].round = noBucket
 	}
-	fr.next = fr.next[:0]
+	fr.cur.clear()
+	fr.nxt.clear()
+	fr.curCount, fr.nxtCount = 0, 0
 	fr.notDone = 0
 	fr.preMax = 0
 	fr.preSampled = false
 }
 
-// push inserts a wake entry into the min-heap (ordered by round, then v —
-// a total order, so the pop sequence is deterministic regardless of
-// insertion order).
-func (fr *frontierState) push(e wakeEntry) {
-	h := append(fr.heap, e)
+// heapPush inserts a closed bucket into shard s's min-heap by round.
+// Several buckets may carry the same round (registration runs that were
+// interleaved with other rounds); draining handles duplicates naturally,
+// and vertex-level dedup is the wake stamps' job, so no tie-break order is
+// needed.
+func (fr *frontierState) heapPush(s int, b wakeBucket) {
+	h := append(fr.heaps[s], b)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h[p].round < h[i].round || (h[p].round == h[i].round && h[p].v <= h[i].v) {
+		if h[p].round <= h[i].round {
 			break
 		}
 		h[p], h[i] = h[i], h[p]
 		i = p
 	}
-	fr.heap = h
+	fr.heaps[s] = h
 }
 
-// pop removes and returns the minimum wake entry.
-func (fr *frontierState) pop() wakeEntry {
-	h := fr.heap
+// heapPop removes and returns shard s's earliest-round bucket.
+func (fr *frontierState) heapPop(s int) wakeBucket {
+	h := fr.heaps[s]
 	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
@@ -213,10 +334,10 @@ func (fr *frontierState) pop() wakeEntry {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(h) && (h[l].round < h[min].round || (h[l].round == h[min].round && h[l].v < h[min].v)) {
+		if l < len(h) && h[l].round < h[min].round {
 			min = l
 		}
-		if r < len(h) && (h[r].round < h[min].round || (h[r].round == h[min].round && h[r].v < h[min].v)) {
+		if r < len(h) && h[r].round < h[min].round {
 			min = r
 		}
 		if min == i {
@@ -225,74 +346,110 @@ func (fr *frontierState) pop() wakeEntry {
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
-	fr.heap = h
+	fr.heaps[s] = h
 	return top
 }
 
-// nextWakeRound returns the earliest valid pending wake round, discarding
-// stale heap entries; 0 when none are pending.
+// nextWakeRound returns the earliest pending wake round across the shard
+// bucket heaps; 0 when none are pending. A bucket whose registrations were
+// all superseded still reports its round — the run loop then skips to it,
+// drains nothing, and re-asks; the idle-gap accounting telescopes to the
+// same totals, so phantom rounds are invisible in the results (the
+// scheduler-equivalence suite covers the re-registration cases).
 func (fr *frontierState) nextWakeRound() int {
-	for len(fr.heap) > 0 {
-		top := fr.heap[0]
-		if fr.wake[top.v] == top.round {
-			return int(top.round)
+	min := 0
+	for s := range fr.heaps {
+		if len(fr.heaps[s]) > 0 {
+			if r := int(fr.heaps[s][0].round); min == 0 || r < min {
+				min = r
+			}
 		}
-		fr.pop()
+		if ob := &fr.open[s]; ob.round != noBucket {
+			if r := int(ob.round); min == 0 || r < min {
+				min = r
+			}
+		}
 	}
-	return 0
+	return min
 }
 
-// register records a program's NextWake answer given after round cur.
-// Wakes due next round go straight into the next-frontier accumulator;
-// later wakes go to the heap. The latest answer wins: re-registering
-// replaces the previous wake (stale heap entries are skipped lazily).
-func (fr *frontierState) register(v int32, wk, cur int) {
+// register records a program's NextWake answer given after round cur, into
+// shard s's structures — the caller must own shard s (s == fr.shardOf(v)),
+// which is what lets the receive half register wakes without a barrier
+// merge. Wakes due next round go straight into the next-frontier bitset;
+// later wakes append to the shard's open bucket (same round) or close it
+// and open a new one. The latest answer wins: re-registering replaces the
+// previous wake (entries with stale stamps are skipped at drain time).
+// Reports whether nxt gained a member.
+func (fr *frontierState) register(s int, v int32, wk, cur int) bool {
 	if wk == NeverWake {
-		fr.wake[v] = 0
-		return
+		fr.wake[v] = fr.stampNone()
+		return false
 	}
 	if wk <= cur+1 {
-		fr.wake[v] = 0
-		if !fr.inNext[v] {
-			fr.inNext[v] = true
-			fr.next = append(fr.next, v)
+		fr.wake[v] = fr.stampNone()
+		return fr.nxt.add(v)
+	}
+	st := fr.stamp(wk)
+	if fr.wake[v] == st {
+		return false // duplicate registration for the same round
+	}
+	fr.wake[v] = st
+	ob := &fr.open[s]
+	if ob.round != int32(wk) {
+		if ob.round != noBucket {
+			ob.end = int32(len(fr.wakeVs[s]))
+			fr.heapPush(s, *ob)
 		}
-		return
+		ob.round = int32(wk)
+		ob.off = int32(len(fr.wakeVs[s]))
 	}
-	if fr.wake[v] == int32(wk) {
-		return
-	}
-	fr.wake[v] = int32(wk)
-	fr.push(wakeEntry{round: int32(wk), v: v})
+	fr.wakeVs[s] = append(fr.wakeVs[s], v)
+	return false
 }
 
-// buildFrontier assembles the sorted frontier for `round` from the
-// accumulated receivers/near-wakes, the self-wakes due by `round`, and the
-// always-active vertices.
-func (e *engine) buildFrontier(round int) {
-	fr := e.fr
-	cur := append(fr.cur[:0], fr.next...)
-	for len(fr.heap) > 0 && int(fr.heap[0].round) <= round {
-		top := fr.pop()
-		if fr.wake[top.v] != top.round {
+// drainBucket moves a due bucket's still-live registrations into the
+// frontier: O(1) per vertex (a stamp check and a bitset insert).
+func (fr *frontierState) drainBucket(s int, b wakeBucket, cur *shardedBitset, count *int) {
+	st := fr.stamp(int(b.round))
+	for _, v := range fr.wakeVs[s][b.off:b.end] {
+		if fr.wake[v] != st {
 			continue // superseded registration
 		}
-		fr.wake[top.v] = 0
-		if !fr.inNext[top.v] {
-			cur = append(cur, top.v)
+		fr.wake[v] = fr.stampNone()
+		if cur.add(v) {
+			*count++
+		}
+	}
+}
+
+// buildFrontier assembles the frontier for `round`: the accumulated
+// receivers/near-wakes become current by a bitset swap, then the self-wakes
+// due by `round` and the always-active vertices are inserted (the bitset
+// dedupes, so no sort and no membership arrays).
+func (e *engine) buildFrontier(round int) {
+	fr := e.fr
+	fr.cur, fr.nxt = fr.nxt, fr.cur
+	fr.nxt.clear()
+	count := fr.nxtCount
+	fr.nxtCount = 0
+	cur := fr.cur
+	for s := range fr.heaps {
+		for len(fr.heaps[s]) > 0 && int(fr.heaps[s][0].round) <= round {
+			fr.drainBucket(s, fr.heapPop(s), cur, &count)
+		}
+		if ob := &fr.open[s]; ob.round != noBucket && int(ob.round) <= round {
+			ob.end = int32(len(fr.wakeVs[s]))
+			fr.drainBucket(s, *ob, cur, &count)
+			ob.round = noBucket
 		}
 	}
 	for _, v := range fr.alwaysOn {
-		if !fr.inNext[v] {
-			cur = append(cur, v)
+		if cur.add(v) {
+			count++
 		}
 	}
-	for _, v := range fr.next {
-		fr.inNext[v] = false
-	}
-	fr.next = fr.next[:0]
-	slices.Sort(cur)
-	fr.cur = cur
+	fr.curCount = count
 }
 
 // samplePre records the initial StateBits of every vertex outside the
@@ -304,12 +461,8 @@ func (e *engine) buildFrontier(round int) {
 func (e *engine) samplePre() {
 	fr := e.fr
 	max := 0
-	for v, nd := range e.nw.nodes {
-		s, ok := nd.(StateSizer)
-		if !ok {
-			continue
-		}
-		if _, in := slices.BinarySearch(fr.cur, int32(v)); in {
+	for v, s := range fr.sizers {
+		if s == nil || fr.cur.has(int32(v)) {
 			continue
 		}
 		if b := s.StateBits(); b > max {
@@ -320,144 +473,166 @@ func (e *engine) samplePre() {
 	fr.preSampled = true
 }
 
-// buildRecvSet assembles the sorted receive set (frontier ∪ this round's
-// receivers) after the send half, and seeds the next frontier with the
-// receivers (rule 1 of the frontier invariant).
-func (e *engine) buildRecvSet() {
-	fr := e.fr
-	recv := append(fr.recv[:0], fr.cur...)
-	for _, v := range fr.cur {
-		fr.inRecv[v] = true
-	}
-	for w := range e.ws {
-		for _, to := range e.ws[w].outbox.touched {
-			if !fr.inNext[to] {
-				fr.inNext[to] = true
-				fr.next = append(fr.next, int32(to))
-			}
-			if !fr.inRecv[to] {
-				fr.inRecv[to] = true
-				recv = append(recv, int32(to))
-			}
-		}
-	}
-	for _, v := range recv {
-		fr.inRecv[v] = false
-	}
-	slices.Sort(recv)
-	fr.recv = recv
-}
-
-// sendShardF runs the Send half for worker w's slice of the frontier
-// (frontier[i] for i ≡ w mod k; ascending, so the delivery buffers stay
-// canonically ordered). Identical to sendShard except for the iteration
-// domain.
+// sendShardF runs the Send half for worker w's vertex shard, iterating its
+// slice of the frontier bitset through the summary layer (ascending, so
+// the delivery buffers stay canonically ordered). Identical to sendShard
+// except for the iteration domain.
 func (e *engine) sendShardF(w int) {
 	nw := e.nw
 	ob := e.ws[w].outbox
 	ob.beginRound(e.round)
-	cur := e.fr.cur
-	for idx := w; idx < len(cur); idx += e.k {
-		v := int(cur[idx])
-		e.envs[v].Round = e.round
-		ob.begin(v)
-		nw.nodes[v].Send(&e.envs[v], ob)
-		if e.outs != nil {
-			e.outs[v] = append(e.outs[v][:0], ob.msgs...)
-		}
-		if ob.err != nil {
-			break
+	fr := e.fr
+	wlo, whi := fr.shardWords(w)
+	if wlo >= whi {
+		return
+	}
+	cur := fr.cur
+	for si := wlo >> 6; si < (whi+63)>>6; si++ {
+		sw := cur.sum[si]
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			word := cur.words[wi]
+			for word != 0 {
+				v := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				e.envs[v].Round = e.round
+				ob.begin(v)
+				nw.nodes[v].Send(&e.envs[v], ob)
+				if e.outs != nil {
+					e.outs[v] = append(e.outs[v][:0], ob.msgs...)
+				}
+				if ob.err != nil {
+					return
+				}
+			}
 		}
 	}
 }
 
-// recvShardF runs the Receive half for worker w's slice of the receive
-// set, merging inboxes exactly like recvShard, and additionally maintains
-// the incremental Done count and collects the programs' next wakes into
-// worker-private buffers (merged deterministically at the barrier).
+// recvShardF runs the Receive half for worker w's shard of the receive set
+// (frontier ∪ this round's receivers), merging inboxes exactly like
+// recvShard, and additionally maintains the incremental Done count and
+// registers the programs' next wakes — all into shard-local state, so the
+// barrier only folds counters.
+//
+// The receive set is never materialized: at entry the worker claims its
+// own vertices from every worker's touched-receiver list into `nxt` (rule
+// 1 of the invariant seeds next round's frontier with this round's
+// receivers), and then iterates the union cur|nxt word by word. Insertions
+// during the iteration are safe snapshots: register only ever adds the
+// vertex currently being executed, whose union bit was already consumed.
 func (e *engine) recvShardF(w int) {
 	nw := e.nw
 	st := &e.ws[w]
 	fr := e.fr
 	var maxState, maxInbox int
-	delta := 0
-	wb := fr.wakeBuf[w][:0]
-	heads := st.heads
-	rs := fr.recv
-	for idx := w; idx < len(rs); idx += e.k {
-		v := int(rs[idx])
-		var inbox []Inbound
-		if !e.empty {
-			contributors, solo := 0, -1
-			for ww := 0; ww < e.k; ww++ {
-				if len(e.bufs[ww][v]) > 0 {
-					contributors++
-					solo = ww
+	delta, added := 0, 0
+	wlo, whi := fr.shardWords(w)
+	if wlo >= whi {
+		fr.addDelta[w], fr.doneDelta[w] = 0, 0
+		st.maxStateBits, st.maxInboxSize = 0, 0
+		return
+	}
+	if !e.empty {
+		vlo, vhi := wlo<<6, whi<<6
+		for ww := range e.ws {
+			for _, to := range e.ws[ww].outbox.touched {
+				if to >= vlo && to < vhi && fr.nxt.add(int32(to)) {
+					added++
 				}
 			}
-			switch contributors {
-			case 0:
-				// inbox stays nil
-			case 1:
-				inbox = e.bufs[solo][v]
-			default:
-				inbox = e.inboxes[v][:0]
-				for ww := range heads {
-					heads[ww] = 0
-				}
-				for {
-					best := -1
-					for ww := 0; ww < e.k; ww++ {
-						b := e.bufs[ww][v]
-						if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < e.bufs[best][v][heads[best]].From) {
-							best = ww
-						}
-					}
-					if best < 0 {
-						break
-					}
-					inbox = append(inbox, e.bufs[best][v][heads[best]])
-					heads[best]++
-				}
-				e.inboxes[v] = inbox
-			}
-		}
-		if len(inbox) > maxInbox {
-			maxInbox = len(inbox)
-		}
-		// Receive-only vertices (receivers outside the frontier) did not
-		// pass through the send half; their Round must still be current.
-		e.envs[v].Round = e.round
-		nd := nw.nodes[v]
-		nd.Receive(&e.envs[v], inbox)
-		if s, ok := nd.(StateSizer); ok {
-			if b := s.StateBits(); b > maxState {
-				maxState = b
-			}
-		}
-		if d := nd.Done(); d != fr.done[v] {
-			fr.done[v] = d
-			if d {
-				delta--
-			} else {
-				delta++
-			}
-		}
-		if sc, ok := nd.(Scheduled); ok {
-			wb = append(wb, wakeEntry{round: int32(sc.NextWake(&e.envs[v], e.round)), v: int32(v)})
 		}
 	}
-	fr.wakeBuf[w] = wb
+	heads := st.heads
+	cur, nxt := fr.cur, fr.nxt
+	for si := wlo >> 6; si < (whi+63)>>6; si++ {
+		sw := cur.sum[si] | nxt.sum[si]
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			word := cur.words[wi] | nxt.words[wi]
+			for word != 0 {
+				v := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				var inbox []Inbound
+				if !e.empty {
+					contributors, solo := 0, -1
+					for ww := 0; ww < e.k; ww++ {
+						if len(e.bufs[ww][v]) > 0 {
+							contributors++
+							solo = ww
+						}
+					}
+					switch contributors {
+					case 0:
+						// inbox stays nil
+					case 1:
+						inbox = e.bufs[solo][v]
+					default:
+						inbox = e.inboxes[v][:0]
+						for ww := range heads {
+							heads[ww] = 0
+						}
+						for {
+							best := -1
+							for ww := 0; ww < e.k; ww++ {
+								b := e.bufs[ww][v]
+								if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < e.bufs[best][v][heads[best]].From) {
+									best = ww
+								}
+							}
+							if best < 0 {
+								break
+							}
+							inbox = append(inbox, e.bufs[best][v][heads[best]])
+							heads[best]++
+						}
+						e.inboxes[v] = inbox
+					}
+				}
+				if len(inbox) > maxInbox {
+					maxInbox = len(inbox)
+				}
+				// Receive-only vertices (receivers outside the frontier) did
+				// not pass through the send half; their Round must still be
+				// current.
+				e.envs[v].Round = e.round
+				nd := nw.nodes[v]
+				nd.Receive(&e.envs[v], inbox)
+				if s := fr.sizers[v]; s != nil {
+					if b := s.StateBits(); b > maxState {
+						maxState = b
+					}
+				}
+				if d := nd.Done(); d != fr.done[v] {
+					fr.done[v] = d
+					if d {
+						delta--
+					} else {
+						delta++
+					}
+				}
+				if sc := fr.scheds[v]; sc != nil {
+					if fr.register(w, int32(v), sc.NextWake(&e.envs[v], e.round), e.round) {
+						added++
+					}
+				}
+			}
+		}
+	}
+	fr.addDelta[w] = added
 	fr.doneDelta[w] = delta
 	st.maxStateBits = maxState
 	st.maxInboxSize = maxInbox
 }
 
-// finishRecvF merges the receive half at the round barrier: metric shards,
+// finishRecvF folds the receive half at the round barrier: metric shards,
 // the pre-sampled state maximum (folded from the first barrier on, when
-// the dense engine folds its first samples), the Done count, and the
-// programs' wake registrations.
-func (e *engine) finishRecvF(round int) {
+// the dense engine folds its first samples), and the shard-local Done and
+// frontier-size deltas. Unlike the pre-bitset engine there is no wake
+// merge here — registrations already landed in shard-local heaps.
+func (e *engine) finishRecvF() {
 	m := &e.nw.metrics
 	fr := e.fr
 	for w := range e.ws {
@@ -469,14 +644,10 @@ func (e *engine) finishRecvF(round int) {
 			m.MaxInboxSize = st.maxInboxSize
 		}
 		fr.notDone += fr.doneDelta[w]
+		fr.nxtCount += fr.addDelta[w]
 	}
 	if fr.preMax > m.MaxStateBits {
 		m.MaxStateBits = fr.preMax
-	}
-	for w := range e.ws {
-		for _, we := range fr.wakeBuf[w] {
-			fr.register(we.v, int(we.round), round)
-		}
 	}
 }
 
@@ -509,19 +680,21 @@ func (e *engine) executeFrontier(maxRounds int) error {
 	if nw.observer != nil {
 		nw.observer(0, -1, -1, 0, WireView{}) // run boundary
 	}
-	// Initial scan: the dense engine's pre-run allDone probe, plus the
-	// initial self-wake collection (NextWake after construction/reset).
+	// Initial scan, one pass over the programs: the dense engine's pre-run
+	// allDone probe plus the initial self-wake collection (NextWake after
+	// construction/reset). Both are pure queries, so fusing the passes
+	// only improves locality.
 	for v, nd := range nw.nodes {
 		d := nd.Done()
 		fr.done[v] = d
 		if !d {
 			fr.notDone++
 		}
-	}
-	for v, nd := range nw.nodes {
-		if sc, ok := nd.(Scheduled); ok {
+		if sc := fr.scheds[v]; sc != nil {
 			e.envs[v].Round = 0
-			fr.register(int32(v), sc.NextWake(&e.envs[v], 0), 0)
+			if fr.register(fr.shardOf(int32(v)), int32(v), sc.NextWake(&e.envs[v], 0), 0) {
+				fr.nxtCount++
+			}
 		}
 	}
 
@@ -534,7 +707,7 @@ func (e *engine) executeFrontier(maxRounds int) error {
 		if !fr.preSampled {
 			e.samplePre()
 		}
-		if len(fr.cur) == 0 {
+		if fr.curCount == 0 {
 			// Idle until the next self-wake: the dense engine would execute
 			// these rounds as empty rounds. Account them identically and
 			// skip ahead (satisfying the Metrics.DroppedRounds invariant).
@@ -566,13 +739,19 @@ func (e *engine) executeFrontier(maxRounds int) error {
 		nw.metrics.Rounds = round
 		e.round = round
 
-		e.runPhaseF(phaseSendF, len(fr.cur))
-		if err := e.finishSendFrom(fr.cur); err != nil {
+		e.runPhaseF(phaseSendF, fr.curCount)
+		if err := e.finishSend(); err != nil {
 			return err
 		}
-		e.buildRecvSet()
-		e.runPhaseF(phaseRecvF, len(fr.recv))
-		e.finishRecvF(round)
+		// The receive set is frontier ∪ receivers; curCount plus the
+		// touched totals overestimates it (overlap, cross-worker
+		// duplicates), but it is only the inline-dispatch heuristic.
+		recvSize := fr.curCount
+		for w := range e.ws {
+			recvSize += len(e.ws[w].outbox.touched)
+		}
+		e.runPhaseF(phaseRecvF, recvSize)
+		e.finishRecvF()
 		round++
 	}
 }

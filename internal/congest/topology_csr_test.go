@@ -1,0 +1,131 @@
+package congest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// TestTopologyFromCSRMatchesGraphPath pins the two Topology constructors
+// to each other: a topology built from the streamed CSR must expose the
+// same adjacency views and run programs bit-identically to one built from
+// the equivalent *graph.Graph.
+func TestTopologyFromCSRMatchesGraphPath(t *testing.T) {
+	rows, cols := 11, 17
+	g := graph.Grid(rows, cols)
+	want, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := graph.BuildCSRFromStream(rows*cols, graph.GridEdges(rows, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewTopologyFromCSR(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() {
+		t.Fatalf("N = %d, want %d", got.N(), want.N())
+	}
+	if got.Graph() != nil {
+		t.Errorf("CSR-built topology Graph() = %v, want nil", got.Graph())
+	}
+	for v := 0; v < want.N(); v++ {
+		a, b := got.Neighbors(v), want.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree(%d) = %d, want %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("neighbors(%d) differ at %d: %d vs %d", v, i, a[i], b[i])
+			}
+		}
+	}
+	if got.HasEdge(0, 1) != want.HasEdge(0, 1) || got.HasEdge(0, 2) != want.HasEdge(0, 2) {
+		t.Errorf("HasEdge disagrees between build paths")
+	}
+
+	// Run a real program on both topologies: identical outputs and Metrics.
+	fingerprint := func(topo *Topology) (string, Metrics) {
+		nw := NewNetworkOn(topo, func(v int) Node { return NewBFSNode(0) })
+		if err := nw.Run(8*topo.N() + 16); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for v := 0; v < topo.N(); v++ {
+			b := nw.Node(v).(*BFSNode)
+			fmt.Fprintf(&sb, "%d/%d/%d;", b.Dist, b.Parent, b.Ecc)
+		}
+		return sb.String(), nw.Metrics()
+	}
+	wantOut, wantM := fingerprint(want)
+	gotOut, gotM := fingerprint(got)
+	if gotOut != wantOut {
+		t.Errorf("BFS outputs differ between graph-built and CSR-built topologies")
+	}
+	if gotM != wantM {
+		t.Errorf("BFS Metrics = %+v on CSR topology, want %+v", gotM, wantM)
+	}
+}
+
+// TestTopologyFromCSRWeighted: a weighted CSR carries its weight arena and
+// MaxWeight through to the topology.
+func TestTopologyFromCSRWeighted(t *testing.T) {
+	g := graph.WithWeights(graph.Cycle(12), 9, 3)
+	c, err := g.BuildCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewTopologyFromCSR(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Weighted() || got.MaxWeight() != want.MaxWeight() {
+		t.Fatalf("weighted/maxW = %v/%d, want true/%d", got.Weighted(), got.MaxWeight(), want.MaxWeight())
+	}
+	for v := 0; v < want.N(); v++ {
+		a, b := got.NeighborWeights(v), want.NeighborWeights(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("weights(%d) differ at %d: %d vs %d", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTopologyFromCSRValidation rejects malformed and disconnected CSRs.
+func TestTopologyFromCSRValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *graph.CSR
+		want string
+	}{
+		{"empty-offsets", &graph.CSR{}, "malformed"},
+		{"bad-sentinel", &graph.CSR{Offsets: []int32{0, 1}, Targets: []int32{1, 0}}, "malformed"},
+		{"out-of-range", &graph.CSR{Offsets: []int32{0, 1, 2}, Targets: []int32{5, 0}}, "out of range"},
+		{"self-loop", &graph.CSR{Offsets: []int32{0, 1, 2}, Targets: []int32{0, 0}}, "self-loop"},
+		{"unsorted-row", &graph.CSR{Offsets: []int32{0, 2, 3, 5, 6}, Targets: []int32{2, 1, 0, 0, 3, 2}}, "ascending"},
+		{"bad-weight", &graph.CSR{Offsets: []int32{0, 1, 2}, Targets: []int32{1, 0}, Weights: []int32{0, 0}}, "weight"},
+		{
+			name: "disconnected",
+			c: &graph.CSR{ // two disjoint edges: 0-1, 2-3
+				Offsets: []int32{0, 1, 2, 3, 4},
+				Targets: []int32{1, 0, 3, 2},
+			},
+			want: "not connected",
+		},
+	}
+	for _, tc := range cases {
+		_, err := NewTopologyFromCSR(tc.c)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -97,10 +97,26 @@ func TestGeneratorAllocationsLean(t *testing.T) {
 		{"cycle", func() *Graph { return Cycle(10000) }},
 		{"grid", func() *Graph { return Grid(100, 100) }},
 		{"torus", func() *Graph { return Torus(100, 100) }},
+		{"tree", func() *Graph { return CompleteBinaryTree(10000) }},
+		{"barbell", func() *Graph { return Barbell(60, 100) }},
+		// Seed 2 pairs successfully on the first few attempts; each
+		// rejection-sampling attempt costs a constant number of allocations
+		// (graph + arena + connectivity BFS), so the probe bound holds for
+		// this seed but not for arbitrarily unlucky ones.
+		{"regular", func() *Graph {
+			g, err := RandomRegular(2000, 4, 2)
+			if err != nil {
+				return nil
+			}
+			return g
+		}},
 	}
 	for _, tc := range cases {
 		var g *Graph
 		allocs := testing.AllocsPerRun(3, func() { g = tc.build() })
+		if g == nil {
+			t.Fatalf("%s: generator failed", tc.name)
+		}
 		if !g.Connected() {
 			t.Fatalf("%s: generated graph disconnected", tc.name)
 		}

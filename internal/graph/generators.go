@@ -64,7 +64,6 @@ func Complete(n int) *Graph {
 // Grid returns the rows x cols grid graph. Diameter rows+cols-2.
 func Grid(rows, cols int) *Graph {
 	g := New(rows * cols)
-	id := func(r, c int) int { return r*cols + c }
 	if rows > 0 && cols > 0 {
 		horiz := rows * (cols - 1)
 		vert := (rows - 1) * cols
@@ -86,16 +85,7 @@ func Grid(rows, cols int) *Graph {
 			return d
 		})
 	}
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				g.MustAddEdge(id(r, c), id(r, c+1))
-			}
-			if r+1 < rows {
-				g.MustAddEdge(id(r, c), id(r+1, c))
-			}
-		}
-	}
+	GridEdges(rows, cols)(g.MustAddEdge)
 	return g
 }
 
@@ -145,6 +135,22 @@ func Hypercube(dim int) *Graph {
 // (heap-indexed: children of v are 2v+1 and 2v+2).
 func CompleteBinaryTree(n int) *Graph {
 	g := New(n)
+	// Degree of v: one parent edge (v > 0) plus one edge per existing child
+	// (children of v are 2v+1 and 2v+2); the total over all vertices is the
+	// usual tree bound 2(n-1).
+	g.preallocAdjacency(2*(n-1), func(v int) int {
+		d := 0
+		if v > 0 {
+			d++
+		}
+		if 2*v+1 < n {
+			d++
+		}
+		if 2*v+2 < n {
+			d++
+		}
+		return d
+	})
 	for v := 1; v < n; v++ {
 		g.MustAddEdge(v, (v-1)/2)
 	}
@@ -161,6 +167,25 @@ func Barbell(cliqueSize, pathLen int) *Graph {
 	}
 	n := 2*cliqueSize + pathLen
 	g := New(n)
+	// Clique members have degree cliqueSize-1, path vertices degree 2, and
+	// the two chain endpoints (vertex 0 and the first vertex of the second
+	// clique) carry one extra chain edge each.
+	k := cliqueSize
+	g.preallocAdjacency(2*(k*(k-1)+pathLen+1), func(v int) int {
+		switch {
+		case v < k:
+			if v == 0 {
+				return k
+			}
+			return k - 1
+		case v < k+pathLen:
+			return 2
+		case v == k+pathLen:
+			return k
+		default:
+			return k - 1
+		}
+	})
 	for i := 0; i < cliqueSize; i++ {
 		for j := i + 1; j < cliqueSize; j++ {
 			g.MustAddEdge(i, j)
@@ -314,6 +339,9 @@ func RandomRegular(n, d int, seed int64) (*Graph, error) {
 		}
 		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 		g := New(n)
+		// Every vertex ends at degree exactly d when the pairing succeeds;
+		// a failed attempt abandons the graph (and its arena) anyway.
+		g.preallocAdjacency(n*d, func(int) int { return d })
 		ok := true
 		for i := 0; i < len(stubs) && ok; i += 2 {
 			u, v := stubs[i], stubs[i+1]

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func csrEqual(a, b *CSR) bool {
+	if len(a.Offsets) != len(b.Offsets) || len(a.Targets) != len(b.Targets) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamMatchesGraphBuild pins the two CSR build paths to each other:
+// for every generator that has a stream twin, streaming must produce the
+// exact arrays the Graph -> BuildCSR path produces.
+func TestStreamMatchesGraphBuild(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		stream EdgeStream
+		g      *Graph
+	}{
+		{"path-1", 1, PathEdges(1), Path(1)},
+		{"path-2", 2, PathEdges(2), Path(2)},
+		{"path-257", 257, PathEdges(257), Path(257)},
+		{"grid-1x1", 1, GridEdges(1, 1), Grid(1, 1)},
+		{"grid-1x9", 9, GridEdges(1, 9), Grid(1, 9)},
+		{"grid-7x1", 7, GridEdges(7, 1), Grid(7, 1)},
+		{"grid-17x23", 17 * 23, GridEdges(17, 23), Grid(17, 23)},
+	}
+	for _, tc := range cases {
+		want, err := tc.g.BuildCSR()
+		if err != nil {
+			t.Fatalf("%s: BuildCSR: %v", tc.name, err)
+		}
+		got, err := BuildCSRFromStream(tc.n, tc.stream)
+		if err != nil {
+			t.Fatalf("%s: BuildCSRFromStream: %v", tc.name, err)
+		}
+		if !csrEqual(got, want) {
+			t.Errorf("%s: streamed CSR differs from graph-built CSR", tc.name)
+		}
+	}
+}
+
+// TestStreamSortsUnorderedRows: a stream that emits edges in an order that
+// leaves rows descending still yields a valid (ascending) CSR.
+func TestStreamSortsUnorderedRows(t *testing.T) {
+	n := 64
+	reversedPath := func(emit func(u, v int)) {
+		for v := n - 2; v >= 0; v-- {
+			emit(v+1, v)
+		}
+	}
+	got, err := BuildCSRFromStream(n, reversedPath)
+	if err != nil {
+		t.Fatalf("BuildCSRFromStream: %v", err)
+	}
+	want, _ := Path(n).BuildCSR()
+	if !csrEqual(got, want) {
+		t.Errorf("reversed path stream differs from Path CSR")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		stream EdgeStream
+		want   string
+	}{
+		{"negative-n", -1, PathEdges(0), "negative"},
+		{"out-of-range", 3, func(emit func(u, v int)) { emit(0, 3) }, "out of range"},
+		{"negative-endpoint", 3, func(emit func(u, v int)) { emit(-1, 2) }, "out of range"},
+		{"self-loop", 3, func(emit func(u, v int)) { emit(1, 1) }, "self-loop"},
+		{"duplicate", 3, func(emit func(u, v int)) { emit(0, 1); emit(1, 0) }, "duplicate"},
+	}
+	for _, tc := range cases {
+		_, err := BuildCSRFromStream(tc.n, tc.stream)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStreamDetectsNondeterminism: a stream that emits different edges on
+// its second run must be rejected, not silently mis-packed.
+func TestStreamDetectsNondeterminism(t *testing.T) {
+	run := 0
+	flaky := func(emit func(u, v int)) {
+		run++
+		if run == 1 {
+			emit(0, 1)
+			emit(1, 2)
+		} else {
+			emit(0, 1)
+			emit(0, 2) // row 0 overflows its counted degree
+		}
+	}
+	if _, err := BuildCSRFromStream(3, flaky); err == nil ||
+		!strings.Contains(err.Error(), "changed between passes") {
+		t.Errorf("nondeterministic stream: err = %v, want 'changed between passes'", err)
+	}
+	run = 0
+	short := func(emit func(u, v int)) {
+		run++
+		emit(0, 1)
+		if run == 1 {
+			emit(1, 2)
+		}
+	}
+	if _, err := BuildCSRFromStream(3, short); err == nil ||
+		!strings.Contains(err.Error(), "changed between passes") {
+		t.Errorf("short second pass: err = %v, want 'changed between passes'", err)
+	}
+}
+
+// TestStreamAllocationsLean: the whole point of the streamed builder — a
+// constant number of allocations regardless of graph size.
+func TestStreamAllocationsLean(t *testing.T) {
+	side := 100
+	var c *CSR
+	allocs := testing.AllocsPerRun(3, func() {
+		var err error
+		c, err = BuildCSRFromStream(side*side, GridEdges(side, side))
+		if err != nil {
+			c = nil
+		}
+	})
+	if c == nil {
+		t.Fatal("streamed grid build failed")
+	}
+	if c.N() != side*side || c.M() != 2*side*(side-1) {
+		t.Fatalf("streamed grid has %d vertices / %d edges", c.N(), c.M())
+	}
+	// deg/cursor + Offsets + Targets + CSR header + closure bookkeeping.
+	if allocs > 16 {
+		t.Errorf("%.0f allocations per streamed build, want O(1) total", allocs)
+	}
+}
+
+// TestStreamBFSOracle: the streamed CSR is a working oracle — BFS distances
+// on the streamed grid match the known grid metric.
+func TestStreamBFSOracle(t *testing.T) {
+	rows, cols := 13, 29
+	c, err := BuildCSRFromStream(rows*cols, GridEdges(rows, cols))
+	if err != nil {
+		t.Fatalf("BuildCSRFromStream: %v", err)
+	}
+	n := rows * cols
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	reached, ecc := c.BFSInto(0, dist, queue)
+	if reached != n {
+		t.Fatalf("BFS reached %d of %d vertices", reached, n)
+	}
+	if want := int32(rows + cols - 2); ecc != want {
+		t.Errorf("ecc from corner = %d, want %d", ecc, want)
+	}
+	for v := 0; v < n; v++ {
+		if want := int32(v/cols + v%cols); dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}

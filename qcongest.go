@@ -88,6 +88,27 @@ var (
 	WithWeights = graph.WithWeights
 )
 
+// CSR is the packed, read-only adjacency form of a graph: three flat int32
+// arrays instead of per-vertex slices, the compact representation the
+// scale path runs on.
+type CSR = graph.CSR
+
+// EdgeStream enumerates a graph's undirected edges through a callback; it
+// must be deterministic and re-runnable (BuildCSRFromStream runs it twice).
+type EdgeStream = graph.EdgeStream
+
+// Streamed graph construction: the O(1)-allocations-per-graph build path
+// for topologies too large to materialize as per-vertex adjacency slices.
+var (
+	// BuildCSRFromStream packs the edges an EdgeStream emits straight into
+	// CSR arenas (degree pass, then placement) — a 10M-vertex grid builds
+	// in seconds with three array allocations.
+	BuildCSRFromStream = graph.BuildCSRFromStream
+	// GridEdges and PathEdges are the standard-family edge streams.
+	GridEdges = graph.GridEdges
+	PathEdges = graph.PathEdges
+)
+
 // ClassicalResult is the outcome of a classical CONGEST algorithm run.
 type ClassicalResult = congest.ExactResult
 
@@ -205,6 +226,9 @@ func NewPool[C any](workers int, factory func(i int) (C, error)) (*Pool[C], erro
 var (
 	// NewCongestTopology validates a graph and caches its adjacency tables.
 	NewCongestTopology = congest.NewTopology
+	// NewCongestTopologyFromCSR builds a topology straight from a packed
+	// CSR (see BuildCSRFromStream) without materializing a Graph.
+	NewCongestTopologyFromCSR = congest.NewTopologyFromCSR
 	// NewCongestSession builds a reusable session of node programs.
 	NewCongestSession = congest.NewSession
 	// NewCongestNetworkOn builds a one-shot network on a cached topology.
