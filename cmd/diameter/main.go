@@ -7,12 +7,15 @@
 //	diameter -graph lollipop -n 80 -d 5 -algo classical-exact
 //	diameter -graph random -n 40 -param radius -weighted -maxw 8
 //	diameter -graph random -n 40 -param ecc -parallel 4
+//	diameter -graph path -n 2048 -param ecc -lanes 8 -cpuprofile /tmp/ecc.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 
 	"qcongest"
@@ -27,20 +30,48 @@ func main() {
 
 func run() error {
 	var (
-		kind     = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
-		n        = flag.Int("n", 40, "number of vertices")
-		d        = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
-		p        = flag.Float64("p", 0.1, "edge probability (random)")
-		algo     = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx (diameter only; see -param)")
-		param    = flag.String("param", "diameter", "parameter: diameter|radius|ecc|triangle|mincut")
-		weighted = flag.Bool("weighted", false, "assign uniform random edge weights in [1, maxw] and compute the weighted parameter")
-		maxw     = flag.Int("maxw", 8, "largest edge weight used by -weighted")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
-		sched    = flag.String("sched", "frontier", "round scheduler: frontier|dense (output is identical for either)")
-		parallel = flag.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
+		kind       = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
+		n          = flag.Int("n", 40, "number of vertices")
+		d          = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
+		p          = flag.Float64("p", 0.1, "edge probability (random)")
+		algo       = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx (diameter only; see -param)")
+		param      = flag.String("param", "diameter", "parameter: diameter|radius|ecc|triangle|mincut")
+		weighted   = flag.Bool("weighted", false, "assign uniform random edge weights in [1, maxw] and compute the weighted parameter")
+		maxw       = flag.Int("maxw", 8, "largest edge weight used by -weighted")
+		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
+		sched      = flag.String("sched", "frontier", "round scheduler: frontier|dense (output is identical for either)")
+		parallel   = flag.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
+		lanes      = flag.Int("lanes", 0, "Evaluations fused per lane-engine pass (0/1 = solo sessions; output is identical for any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diameter: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "diameter: memprofile:", err)
+			}
+		}()
+	}
 	engine := []qcongest.EngineOption{qcongest.WithWorkers(*workers)}
 	switch *sched {
 	case "frontier":
@@ -72,10 +103,10 @@ func run() error {
 	}
 
 	if *param != "diameter" {
-		return runParam(g, *param, *weighted, *seed, *parallel, engine)
+		return runParam(g, *param, *weighted, *seed, *parallel, *lanes, engine)
 	}
 	if *weighted {
-		return runWeightedDiameter(g, *seed, *parallel, engine)
+		return runWeightedDiameter(g, *seed, *parallel, *lanes, engine)
 	}
 	switch *algo {
 	case "classical-exact":
@@ -93,7 +124,7 @@ func run() error {
 		fmt.Printf("classical 3/2-approx: estimate=%d rounds=%d\n", res.Diameter, res.Metrics.Rounds)
 	case "quantum-exact", "quantum-simple", "quantum-approx":
 		var res qcongest.QuantumResult
-		qopts := qcongest.QuantumOptions{Seed: *seed, Parallel: *parallel, Engine: engine}
+		qopts := qcongest.QuantumOptions{Seed: *seed, Parallel: *parallel, Lanes: *lanes, Engine: engine}
 		switch *algo {
 		case "quantum-exact":
 			res, err = qcongest.QuantumExactDiameter(g, qopts)
@@ -116,8 +147,8 @@ func run() error {
 // runParam dispatches the non-diameter entries of the distance-parameter
 // suite (-param radius|ecc), printing the quantum result against the
 // sequential oracle.
-func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parallel int, engine []qcongest.EngineOption) error {
-	qopts := qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Engine: engine}
+func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parallel, lanes int, engine []qcongest.EngineOption) error {
+	qopts := qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Lanes: lanes, Engine: engine}
 	switch param {
 	case "radius":
 		var truth int
@@ -201,12 +232,12 @@ func onTriangle(g *qcongest.Graph, v int) bool {
 
 // runWeightedDiameter handles -weighted with the default -param diameter:
 // the quantum weighted diameter against the Dijkstra oracle.
-func runWeightedDiameter(g *qcongest.Graph, seed int64, parallel int, engine []qcongest.EngineOption) error {
+func runWeightedDiameter(g *qcongest.Graph, seed int64, parallel, lanes int, engine []qcongest.EngineOption) error {
 	truth, err := g.WeightedDiameter()
 	if err != nil {
 		return err
 	}
-	res, err := qcongest.WeightedDiameter(g, qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Engine: engine})
+	res, err := qcongest.WeightedDiameter(g, qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Lanes: lanes, Engine: engine})
 	if err != nil {
 		return err
 	}

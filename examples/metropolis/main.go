@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"qcongest"
@@ -99,14 +102,41 @@ func (f *floodNode) NextWake(env *qcongest.CongestEnv, round int) int {
 
 func main() {
 	var (
-		side    = flag.Int("side", 1000, "grid side (side*side vertices)")
-		nFlag   = flag.Int("n", 0, "target vertex count (overrides -side with floor(sqrt(n)))")
-		workers = flag.Int("workers", 0, "engine workers (0 = auto)")
-		sched   = flag.String("sched", "frontier", "round scheduler: frontier|dense")
+		side       = flag.Int("side", 1000, "grid side (side*side vertices)")
+		nFlag      = flag.Int("n", 0, "target vertex count (overrides -side with floor(sqrt(n)))")
+		workers    = flag.Int("workers", 0, "engine workers (0 = auto)")
+		sched      = flag.String("sched", "frontier", "round scheduler: frontier|dense")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 	if *nFlag > 0 {
 		*side = int(math.Sqrt(float64(*nFlag)))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print("memprofile: ", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print("memprofile: ", err)
+			}
+		}()
 	}
 
 	// 1. Build: stream the grid's edges straight into the packed CSR form —

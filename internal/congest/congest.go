@@ -258,6 +258,13 @@ func (o *Outbox) stageTo(to int, k Kind, bits int, view WireView) {
 		o.fail(fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", o.round, o.sender, to))
 		return
 	}
+	o.stageKnownEdge(to, k, bits, view)
+}
+
+// stageKnownEdge is stageTo for a destination already known to be a
+// neighbor (the Broadcast-to-neighbor-row fast path); the bandwidth ledger
+// and the delivery staging are identical.
+func (o *Outbox) stageKnownEdge(to int, k Kind, bits int, view WireView) {
 	if o.edge[to] == 0 {
 		o.edgeTouched = append(o.edgeTouched, to)
 	}
@@ -308,6 +315,20 @@ func (o *Outbox) Broadcast(targets []int, m WireMessage) {
 		return
 	}
 	view := o.arena.view(start, bits)
+	// Flooding fast path: when targets is the sender's own neighbor row —
+	// the idiomatic Broadcast(env.Neighbors, m) — every destination is a
+	// neighbor by construction, so the per-copy adjacency probe is skipped.
+	// Identity is by slice identity (same base pointer and length as the
+	// topology row), never by content, so no other slice can take the path.
+	if row := o.nw.topo.neighbors[o.sender]; len(targets) == len(row) && len(row) > 0 && &targets[0] == &row[0] {
+		for _, to := range targets {
+			if o.err != nil {
+				return
+			}
+			o.stageKnownEdge(to, k, bits, view)
+		}
+		return
+	}
 	for _, to := range targets {
 		o.stageTo(to, k, bits, view)
 	}

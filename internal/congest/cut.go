@@ -341,15 +341,24 @@ func (cs *CutSession) Eval(u0 int) (int, Metrics, error) {
 }
 
 // Clone builds an independent cut session over the same shared topology.
-func (cs *CutSession) Clone() *CutSession {
+// Like Session.Clone, it refuses when the sessions carry an observer.
+func (cs *CutSession) Clone() (*CutSession, error) {
+	mark, err := cs.mark.Clone()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := cs.sum.Clone()
+	if err != nil {
+		return nil, err
+	}
 	return &CutSession{
-		mark:     cs.mark.Clone(),
-		sum:      cs.sum.Clone(),
+		mark:     mark,
+		sum:      sum,
 		topo:     cs.topo,
 		leader:   cs.leader,
 		duration: cs.duration,
 		vals:     make([]int, len(cs.vals)),
-	}
+	}, nil
 }
 
 // Close releases both sessions' engines.

@@ -61,10 +61,15 @@ func (ws *WalkSession) Eval(start int) ([]int, Metrics, error) {
 }
 
 // Clone builds an independent walk session over the same shared topology.
-func (ws *WalkSession) Clone() *WalkSession {
-	c := &WalkSession{s: ws.s.Clone(), steps: ws.steps, tau: make([]int, len(ws.tau))}
+// Like Session.Clone, it refuses when the session carries an observer.
+func (ws *WalkSession) Clone() (*WalkSession, error) {
+	s, err := ws.s.Clone()
+	if err != nil {
+		return nil, err
+	}
+	c := &WalkSession{s: s, steps: ws.steps, tau: make([]int, len(ws.tau))}
 	c.cacheNodes()
-	return c
+	return c, nil
 }
 
 // Close releases the session's engine.
@@ -127,14 +132,23 @@ func (es *EccSession) Eval(tau []int) (int, Metrics, error) {
 }
 
 // Clone builds an independent ecc session over the same shared topology.
-func (es *EccSession) Clone() *EccSession {
+// Like Session.Clone, it refuses when the sessions carry an observer.
+func (es *EccSession) Clone() (*EccSession, error) {
+	wave, err := es.wave.Clone()
+	if err != nil {
+		return nil, err
+	}
+	cc, err := es.cc.Clone()
+	if err != nil {
+		return nil, err
+	}
 	return &EccSession{
-		wave:     es.wave.Clone(),
-		cc:       es.cc.Clone(),
+		wave:     wave,
+		cc:       cc,
 		leader:   es.leader,
 		duration: es.duration,
 		dv:       make([]int, len(es.dv)),
-	}
+	}, nil
 }
 
 // Close releases both sessions' engines.

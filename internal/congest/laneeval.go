@@ -1,0 +1,211 @@
+package congest
+
+// Lane-fused composite sessions for the paper's Evaluation procedure
+// (Figure 2): MultiWalkSession and MultiEccSession are the batched
+// counterparts of WalkSession and EccSession — k independent Evaluations
+// per call, executed in lockstep by one MultiSession pass. Each lane's
+// values, Metrics and error strings are bit-identical to a solo
+// WalkSession/EccSession Eval of the same input; failures are reported as
+// *LaneError so batch callers can attribute them to the lane's input.
+
+import "fmt"
+
+// LaneError attributes a batched-evaluation failure to the lane it
+// happened in. Error() is the underlying error's message unchanged, so a
+// batched run fails with exactly the string the solo run would produce;
+// the Lane index lets the caller name the failing input instead.
+type LaneError struct {
+	Lane int
+	Err  error
+}
+
+func (e *LaneError) Error() string { return e.Err.Error() }
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// laneFirstError wraps the smallest-lane failure (the one a serial
+// execution of the batch hits first) as a *LaneError; nil when every lane
+// succeeded.
+func laneFirstError(errs []error) error {
+	for l, err := range errs {
+		if err != nil {
+			return &LaneError{Lane: l, Err: err}
+		}
+	}
+	return nil
+}
+
+// MultiWalkSession is a lane-fused WalkSession: up to Lanes() token walks
+// from different start vertices per EvalBatch, one engine pass.
+type MultiWalkSession struct {
+	ms    *MultiSession
+	tw    [][]*TokenWalkNode // [lane][v]
+	steps int
+	taus  [][]int
+	mets  []Metrics
+	errs  []error
+}
+
+// NewMultiWalkSession builds the lane-fused walk session; the per-lane
+// arguments mirror NewWalkSession.
+func NewMultiWalkSession(topo *Topology, info *PreInfo, children [][]int, steps, lanes int, opts ...Option) *MultiWalkSession {
+	mw := &MultiWalkSession{
+		ms: NewMultiSession(topo, lanes, func(lane, v int) Node {
+			return NewTokenWalkNode(info.Parent[v], children[v], info.Leader, -1, steps)
+		}, opts...),
+		steps: steps,
+		tw:    make([][]*TokenWalkNode, lanes),
+		taus:  make([][]int, lanes),
+		mets:  make([]Metrics, lanes),
+		errs:  make([]error, lanes),
+	}
+	n := topo.N()
+	for l := 0; l < lanes; l++ {
+		mw.tw[l] = make([]*TokenWalkNode, n)
+		for v := 0; v < n; v++ {
+			mw.tw[l][v] = mw.ms.Node(l, v).(*TokenWalkNode)
+		}
+		mw.taus[l] = make([]int, n)
+	}
+	return mw
+}
+
+// Lanes returns the lane count.
+func (mw *MultiWalkSession) Lanes() int { return mw.ms.Lanes() }
+
+// EvalBatch runs one walk per element of starts (len(starts) <= Lanes())
+// and returns per-lane tau' vectors and Metrics — each bit-identical to a
+// solo WalkSession.Eval(starts[l]). The first (smallest-lane) failure is
+// returned as a *LaneError; the returned slices are owned by the session
+// and only valid until the next EvalBatch.
+func (mw *MultiWalkSession) EvalBatch(starts []int) ([][]int, []Metrics, error) {
+	for l, start := range starts {
+		if err := mw.ms.Reset(l, WalkStart{Start: start}); err != nil {
+			return nil, nil, &LaneError{Lane: l, Err: err}
+		}
+	}
+	mw.ms.Run(mw.steps + 4)
+	for l := range starts {
+		mw.mets[l] = mw.ms.Metrics(l)
+		if err := mw.ms.LaneErr(l); err != nil {
+			mw.errs[l] = fmt.Errorf("token walk: %w", err)
+			continue
+		}
+		mw.errs[l] = nil
+		for v, tw := range mw.tw[l] {
+			mw.taus[l][v] = tw.Tau
+		}
+	}
+	return mw.taus[:len(starts)], mw.mets[:len(starts)], laneFirstError(mw.errs[:len(starts)])
+}
+
+// Close releases the engine.
+func (mw *MultiWalkSession) Close() { mw.ms.Close() }
+
+// MultiEccSession is a lane-fused EccSession: up to Lanes() wave-and-
+// convergecast Evaluations with different tau' assignments per EvalBatch.
+type MultiEccSession struct {
+	wave     *MultiSession
+	cc       *MultiSession
+	wn       [][]*WaveNode // [lane][v]
+	ccLeader []*ConvergecastMaxNode
+	leader   int
+	duration int
+	dv       [][]int
+	vals     []int
+	mets     []Metrics
+	errs     []error
+}
+
+// NewMultiEccSession builds the lane-fused wave+convergecast pair; the
+// per-lane arguments mirror NewEccSession.
+func NewMultiEccSession(topo *Topology, info *PreInfo, waveDuration, lanes int, opts ...Option) *MultiEccSession {
+	me := &MultiEccSession{
+		wave: NewMultiSession(topo, lanes, func(lane, v int) Node {
+			return NewWaveNode(false, -1, waveDuration)
+		}, opts...),
+		cc: NewMultiSession(topo, lanes, func(lane, v int) Node {
+			return NewConvergecastMaxNode(info.Parent[v], info.Children[v], 0, v)
+		}, opts...),
+		leader:   info.Leader,
+		duration: waveDuration,
+		wn:       make([][]*WaveNode, lanes),
+		ccLeader: make([]*ConvergecastMaxNode, lanes),
+		dv:       make([][]int, lanes),
+		vals:     make([]int, lanes),
+		mets:     make([]Metrics, lanes),
+		errs:     make([]error, lanes),
+	}
+	n := topo.N()
+	for l := 0; l < lanes; l++ {
+		me.wn[l] = make([]*WaveNode, n)
+		for v := 0; v < n; v++ {
+			me.wn[l][v] = me.wave.Node(l, v).(*WaveNode)
+		}
+		me.ccLeader[l] = me.cc.Node(l, info.Leader).(*ConvergecastMaxNode)
+		me.dv[l] = make([]int, n)
+	}
+	return me
+}
+
+// Lanes returns the lane count.
+func (me *MultiEccSession) Lanes() int { return me.wave.Lanes() }
+
+// EvalBatch computes max_{u in S_l} ecc(u) per lane for the tau'
+// assignments taus[l] (len(taus) <= Lanes()), each bit-identical — value,
+// Metrics, error string — to a solo EccSession.Eval(taus[l]). The first
+// (smallest-lane) failure is returned as a *LaneError; the returned slices
+// are owned by the session and only valid until the next EvalBatch.
+func (me *MultiEccSession) EvalBatch(taus [][]int) ([]int, []Metrics, error) {
+	for l, tau := range taus {
+		me.mets[l] = Metrics{}
+		if err := me.wave.Reset(l, WaveTau{Tau: tau}); err != nil {
+			return nil, nil, &LaneError{Lane: l, Err: err}
+		}
+	}
+	me.wave.Run(me.duration + 4)
+	anyCC := false
+	for l := range taus {
+		if err := me.wave.LaneErr(l); err != nil {
+			me.errs[l] = fmt.Errorf("wave process: %w", err)
+			continue
+		}
+		me.errs[l] = nil
+		for v, wn := range me.wn[l] {
+			if wn.Violation != nil {
+				me.errs[l] = wn.Violation
+				break
+			}
+			me.dv[l][v] = wn.DV
+		}
+		if me.errs[l] != nil {
+			continue
+		}
+		me.mets[l].Add(me.wave.Metrics(l))
+		if err := me.cc.Reset(l, MaxInputs{Values: me.dv[l]}); err != nil {
+			me.errs[l] = err
+			continue
+		}
+		anyCC = true
+	}
+	if anyCC {
+		me.cc.Run(4*len(me.dv[0]) + 16)
+		for l := range taus {
+			if me.errs[l] != nil || me.wave.LaneErr(l) != nil {
+				continue
+			}
+			if err := me.cc.LaneErr(l); err != nil {
+				me.errs[l] = fmt.Errorf("convergecast: %w", err)
+				continue
+			}
+			me.mets[l].Add(me.cc.Metrics(l))
+			me.vals[l] = me.ccLeader[l].Max
+		}
+	}
+	return me.vals[:len(taus)], me.mets[:len(taus)], laneFirstError(me.errs[:len(taus)])
+}
+
+// Close releases both engines.
+func (me *MultiEccSession) Close() {
+	me.wave.Close()
+	me.cc.Close()
+}

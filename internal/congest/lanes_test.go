@@ -1,0 +1,558 @@
+package congest
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// The lane-fused engine's contract: every lane of a MultiSession run is
+// bit-identical — outputs, Metrics, observer wire traces, errors — to a
+// solo run of the same program and parameters, across workers {1,2,8} ×
+// lanes {1,2,8} × dense/frontier. These tests sweep that matrix against
+// RunReference, exercise heterogeneous per-lane schedules (different idle
+// gaps, different quiescence rounds, per-lane failures), and pin the
+// steady-state allocation budget per lane.
+
+// laneCase is one lane-equivalence workload: a per-lane program family
+// with per-lane Reset params and an output fingerprint.
+type laneCase struct {
+	name      string
+	topo      *Topology
+	make      func(lane, v int) Node
+	params    func(lane int) any // nil: run from constructed state
+	maxRounds int
+	fp        func(at func(v int) Node, n int) string
+}
+
+var laneCounts = []int{1, 2, 8}
+
+// laneReference runs lane l's program solo under RunReference — the
+// original sequential oracle — applying the lane's Reset params first,
+// exactly as Session.Reset would.
+func laneReference(t *testing.T, c laneCase, l int) schedCapture {
+	t.Helper()
+	var trace []string
+	nw := NewNetworkOn(c.topo, func(v int) Node { return c.make(l, v) }, WithObserver(recordObs(&trace)))
+	if p := c.params(l); p != nil {
+		for v := 0; v < c.topo.N(); v++ {
+			nw.Node(v).(Resettable).ResetNode(v, p)
+		}
+	}
+	if err := nw.RunReference(c.maxRounds); err != nil {
+		t.Fatalf("%s lane %d: reference: %v", c.name, l, err)
+	}
+	return schedCapture{Out: c.fp(nw.Node, c.topo.N()), Metrics: nw.Metrics(), Trace: trace}
+}
+
+func TestLaneEquivalenceSweep(t *testing.T) {
+	g := graph.RandomConnected(150, 0.03, 4)
+	n := g.N()
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Option{WithScheduler(SchedulerDense), WithWorkers(1)}
+	info, _, err := PreprocessOn(topo, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+	tourLen := 2 * (n - 1)
+
+	starts := []int{0, 7, 33, 149, 91, 2, 58, 120}
+	waveDur := 2*d + 1
+	laneTaus := make([][]int, 8)
+	for l := range laneTaus {
+		tau := make([]int, n)
+		for v := range tau {
+			tau[v] = -1
+		}
+		tau[starts[l]] = 0
+		laneTaus[l] = tau
+	}
+	pulseWakes := [][]int{{1, 2, 3}, {5}, {1, 40}, {7, 9}, {2}, {30}, {3, 6, 12, 24}, {1, 2, 3, 4, 5}}
+
+	cases := []laneCase{
+		{
+			// Per-lane start vertices: the Figure 2 walk, lane-parameterized
+			// exactly as MultiWalkSession drives it.
+			name: "walk", topo: topo, maxRounds: tourLen + 4,
+			make: func(lane, v int) Node {
+				return NewTokenWalkNode(info.Parent[v], info.Children[v], info.Leader, -1, tourLen)
+			},
+			params: func(lane int) any { return WalkStart{Start: starts[lane]} },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*TokenWalkNode).Tau)
+				}
+				return sb.String()
+			},
+		},
+		{
+			// Per-lane tau assignments: the wave process with a different
+			// source per lane, as MultiEccSession drives it.
+			name: "wave", topo: topo, maxRounds: waveDur + 4,
+			make: func(lane, v int) Node {
+				return NewWaveNode(false, -1, waveDur)
+			},
+			params: func(lane int) any { return WaveTau{Tau: laneTaus[lane]} },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					w := at(v).(*WaveNode)
+					fmt.Fprintf(&sb, "%d/%d/%v;", w.TV, w.DV, w.Violation)
+				}
+				return sb.String()
+			},
+		},
+		{
+			// Per-lane constructor values, nil params.
+			name: "cc-max", topo: topo, maxRounds: 4*n + 16,
+			make: func(lane, v int) Node {
+				return NewConvergecastMaxNode(info.Parent[v], info.Children[v], (v*13+lane*29)%97, v)
+			},
+			params: func(lane int) any { return nil },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					c := at(v).(*ConvergecastMaxNode)
+					fmt.Fprintf(&sb, "%d/%d;", c.Max, c.MaxWitness)
+				}
+				return sb.String()
+			},
+		},
+		{
+			// Per-lane roots: lanes flood from different vertices, so their
+			// frontiers genuinely diverge within one fused pass.
+			name: "bfs", topo: topo, maxRounds: 8*n + 16,
+			make: func(lane, v int) Node {
+				return NewBFSNode(starts[lane])
+			},
+			params: func(lane int) any { return nil },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					b := at(v).(*BFSNode)
+					fmt.Fprintf(&sb, "%d/%d/%v/%d;", b.Dist, b.Parent, b.Children, b.Ecc)
+				}
+				return sb.String()
+			},
+		},
+		{
+			// Identical lanes: the degenerate case must still be per-lane
+			// exact.
+			name: "leader", topo: topo, maxRounds: 4*n + 16,
+			make: func(lane, v int) Node {
+				return NewLeaderElectNode()
+			},
+			params: func(lane int) any { return nil },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%d;", at(v).(*LeaderElectNode).Leader)
+				}
+				return sb.String()
+			},
+		},
+		{
+			// Heterogeneous idle gaps: each lane pulses on its own schedule,
+			// so the lockstep loop mixes active, idle and finished lanes and
+			// must reproduce each lane's gap accounting exactly.
+			name: "pulse", topo: topo, maxRounds: 80,
+			make: func(lane, v int) Node {
+				return &pulseNode{wakes: pulseWakes[lane]}
+			},
+			params: func(lane int) any { return nil },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					p := at(v).(*pulseNode)
+					fmt.Fprintf(&sb, "%d/%v;", p.seen, p.done)
+				}
+				return sb.String()
+			},
+		},
+		{
+			name: "notify", topo: topo, maxRounds: 8,
+			make: func(lane, v int) Node {
+				return &notifyNode{Parent: info.Parent[v], Marked: v%3 == lane%3}
+			},
+			params: func(lane int) any { return nil },
+			fp: func(at func(v int) Node, n int) string {
+				var sb strings.Builder
+				for v := 0; v < n; v++ {
+					fmt.Fprintf(&sb, "%v;", at(v).(*notifyNode).MarkedChildren)
+				}
+				return sb.String()
+			},
+		},
+	}
+
+	for _, c := range cases {
+		want := make([]schedCapture, 8)
+		for l := 0; l < 8; l++ {
+			want[l] = laneReference(t, c, l)
+		}
+		for _, m := range schedMatrix {
+			for _, lanes := range laneCounts {
+				name := fmt.Sprintf("%s [%s lanes=%d]", c.name, m.name, lanes)
+				ms := NewMultiSession(topo, lanes, c.make, m.opts...)
+				if ms.Topology() != topo {
+					t.Fatalf("%s: Topology() mismatch", name)
+				}
+				traces := make([][]string, lanes)
+				for l := 0; l < lanes; l++ {
+					li := l
+					if err := ms.SetLaneObserver(l, recordObs(&traces[li])); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				}
+				// Two batches through the same engine: steady-state reuse
+				// must stay bit-identical.
+				for rerun := 0; rerun < 2; rerun++ {
+					for l := 0; l < lanes; l++ {
+						traces[l] = traces[l][:0]
+						if err := ms.Reset(l, c.params(l)); err != nil {
+							t.Fatalf("%s: Reset lane %d: %v", name, l, err)
+						}
+					}
+					if err := ms.Run(c.maxRounds); err != nil {
+						t.Fatalf("%s rerun %d: %v", name, rerun, err)
+					}
+					for l := 0; l < lanes; l++ {
+						li := l
+						if err := ms.LaneErr(l); err != nil {
+							t.Fatalf("%s rerun %d lane %d: %v", name, rerun, l, err)
+						}
+						if out := c.fp(func(v int) Node { return ms.Node(li, v) }, n); out != want[l].Out {
+							t.Errorf("%s rerun %d lane %d: outputs differ from RunReference", name, rerun, l)
+						}
+						if got := ms.Metrics(l); got != want[l].Metrics {
+							t.Errorf("%s rerun %d lane %d: Metrics = %+v, want %+v",
+								name, rerun, l, got, want[l].Metrics)
+						}
+						if !reflect.DeepEqual(traces[l], want[l].Trace) {
+							t.Errorf("%s rerun %d lane %d: observer trace differs (%d vs %d events)",
+								name, rerun, l, len(traces[l]), len(want[l].Trace))
+						}
+					}
+				}
+				ms.Close()
+			}
+		}
+	}
+}
+
+// laneViolatorNode triggers a deterministic bandwidth violation at round
+// `at`. It deliberately lacks the Scheduled contract, so its lane demotes
+// to dense execution — inside a MultiSession whose other lanes may run the
+// frontier path.
+type laneViolatorNode struct {
+	at   int
+	done bool
+	tx   RawMessage
+}
+
+func (h *laneViolatorNode) Send(env *Env, out *Outbox) {
+	if env.ID != 0 || len(env.Neighbors) == 0 {
+		return
+	}
+	if env.Round < h.at {
+		h.tx.Width = 1
+		out.Put(env.Neighbors[0], &h.tx)
+		return
+	}
+	h.tx.Width = 1 << 20
+	out.Broadcast(env.Neighbors, &h.tx)
+}
+func (h *laneViolatorNode) Receive(env *Env, inbox []Inbound) {}
+func (h *laneViolatorNode) Done() bool                        { return h.done }
+func (h *laneViolatorNode) ResetNode(v int, params any) {
+	if params != nil {
+		badResetParams("laneViolatorNode", params)
+	}
+	h.done = false
+}
+
+// TestLaneFailureIsolation: one lane timing out or violating bandwidth
+// must fail with exactly its solo error and accounting while sibling lanes
+// complete untouched. The violator lane also lacks the Scheduled contract,
+// so this covers frontier and dense lanes fused in one MultiSession.
+func TestLaneFailureIsolation(t *testing.T) {
+	g := graph.Path(40)
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxRounds = 10
+	makeNode := func(lane, v int) Node {
+		switch lane {
+		case 1:
+			return &pulseNode{wakes: []int{50}} // wake far past the budget: times out
+		case 2:
+			return &laneViolatorNode{at: 3} // bandwidth violation in round 3
+		default:
+			return &pulseNode{wakes: []int{1, 2, 5}} // quiesces at round 5
+		}
+	}
+	type soloResult struct {
+		errStr  string
+		metrics Metrics
+	}
+	solo := make([]soloResult, 4)
+	for l := 0; l < 4; l++ {
+		li := l
+		for _, m := range schedMatrix {
+			s := NewSession(topo, func(v int) Node { return makeNode(li, v) }, m.opts...)
+			if err := s.Reset(nil); err != nil {
+				t.Fatal(err)
+			}
+			runErr := s.Run(maxRounds)
+			res := soloResult{metrics: s.Metrics()}
+			if runErr != nil {
+				res.errStr = runErr.Error()
+			}
+			if m.name == "dense/w1" {
+				solo[l] = res
+			} else if res != solo[l] {
+				t.Fatalf("solo lane %d [%s]: %+v, want %+v", l, m.name, res, solo[l])
+			}
+			s.Close()
+		}
+		if (l == 1 || l == 2) == (solo[l].errStr == "") {
+			t.Fatalf("solo lane %d: unexpected outcome %q", l, solo[l].errStr)
+		}
+	}
+	for _, m := range schedMatrix {
+		ms := NewMultiSession(topo, 4, makeNode, m.opts...)
+		for rerun := 0; rerun < 2; rerun++ {
+			for l := 0; l < 4; l++ {
+				if err := ms.Reset(l, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			runErr := ms.Run(maxRounds)
+			// Run reports the smallest failing lane's error: lane 1.
+			if runErr == nil || runErr.Error() != solo[1].errStr {
+				t.Fatalf("[%s] rerun %d: Run error = %v, want %q", m.name, rerun, runErr, solo[1].errStr)
+			}
+			for l := 0; l < 4; l++ {
+				got := soloResult{metrics: ms.Metrics(l)}
+				if err := ms.LaneErr(l); err != nil {
+					got.errStr = err.Error()
+				}
+				if got != solo[l] {
+					t.Errorf("[%s] rerun %d lane %d: %+v, want %+v", m.name, rerun, l, got, solo[l])
+				}
+			}
+		}
+		ms.Close()
+	}
+}
+
+// TestMultiEvalSessionEquivalence pins the lane-fused Figure 2 composites
+// to their solo counterparts: every lane's tau vector, eccentricity value
+// and Metrics must equal a solo WalkSession/EccSession evaluation of the
+// same input, including partial batches and engine reuse.
+func TestMultiEvalSessionEquivalence(t *testing.T) {
+	g := graph.RandomConnected(120, 0.04, 8)
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := PreprocessOn(topo, WithScheduler(SchedulerDense), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := info.D
+	steps, waveDur := 2*d, 6*d+2
+	starts := []int{0, 5, 17, 119, 64, 3, 88, 42}
+
+	ws := NewWalkSession(topo, info, info.Children, steps)
+	es := NewEccSession(topo, info, waveDur)
+	defer ws.Close()
+	defer es.Close()
+	wantTaus := make([][]int, len(starts))
+	wantWalkM := make([]Metrics, len(starts))
+	wantVals := make([]int, len(starts))
+	wantEccM := make([]Metrics, len(starts))
+	for i, u := range starts {
+		tau, m, err := ws.Eval(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTaus[i] = append([]int(nil), tau...)
+		wantWalkM[i] = m
+		val, em, err := es.Eval(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVals[i], wantEccM[i] = val, em
+	}
+
+	for _, m := range schedMatrix {
+		for _, lanes := range laneCounts {
+			name := fmt.Sprintf("[%s lanes=%d]", m.name, lanes)
+			mw := NewMultiWalkSession(topo, info, info.Children, steps, lanes, m.opts...)
+			me := NewMultiEccSession(topo, info, waveDur, lanes, m.opts...)
+			if mw.Lanes() != lanes || me.Lanes() != lanes {
+				t.Fatalf("%s: Lanes() mismatch", name)
+			}
+			// Full batches twice (engine reuse), then a partial batch.
+			batches := [][]int{starts[:lanes], starts[:lanes]}
+			if lanes > 1 {
+				batches = append(batches, starts[:lanes-1])
+			}
+			for bi, batch := range batches {
+				taus, walkM, err := mw.EvalBatch(batch)
+				if err != nil {
+					t.Fatalf("%s batch %d: %v", name, bi, err)
+				}
+				if len(taus) != len(batch) || len(walkM) != len(batch) {
+					t.Fatalf("%s batch %d: short result", name, bi)
+				}
+				for l := range batch {
+					if !reflect.DeepEqual(taus[l], wantTaus[l]) {
+						t.Errorf("%s batch %d lane %d: tau differs from solo", name, bi, l)
+					}
+					if walkM[l] != wantWalkM[l] {
+						t.Errorf("%s batch %d lane %d: walk Metrics = %+v, want %+v",
+							name, bi, l, walkM[l], wantWalkM[l])
+					}
+				}
+				vals, eccM, err := me.EvalBatch(taus)
+				if err != nil {
+					t.Fatalf("%s batch %d: %v", name, bi, err)
+				}
+				for l := range batch {
+					if vals[l] != wantVals[l] {
+						t.Errorf("%s batch %d lane %d: value = %d, want %d", name, bi, l, vals[l], wantVals[l])
+					}
+					if eccM[l] != wantEccM[l] {
+						t.Errorf("%s batch %d lane %d: ecc Metrics = %+v, want %+v",
+							name, bi, l, eccM[l], wantEccM[l])
+					}
+				}
+			}
+			mw.Close()
+			me.Close()
+		}
+	}
+}
+
+// TestMultiSessionAPIErrors covers the MultiSession misuse surface.
+func TestMultiSessionAPIErrors(t *testing.T) {
+	topo, err := NewTopology(graph.Path(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMultiSession(topo, 2, func(lane, v int) Node { return NewLeaderElectNode() })
+	if err := ms.SetLaneObserver(5, func(round, from, to, bits int, wire WireView) {}); err == nil {
+		t.Error("SetLaneObserver out of range: no error")
+	}
+	if err := ms.Run(10); err == nil {
+		t.Error("Run with no lane Reset: no error")
+	}
+	if err := ms.Reset(2, nil); err == nil {
+		t.Error("Reset out of range: no error")
+	}
+	if err := ms.Reset(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SetLaneObserver(0, func(round, from, to, bits int, wire WireView) {}); err == nil {
+		t.Error("SetLaneObserver after first Run: no error")
+	}
+	if err := ms.Run(10); err == nil {
+		t.Error("re-Run without Reset: no error")
+	}
+	ms.Close()
+	ms.Close() // idempotent
+	if err := ms.Reset(0, nil); err == nil {
+		t.Error("Reset on closed MultiSession: no error")
+	}
+	if err := ms.Run(10); err == nil {
+		t.Error("Run on closed MultiSession: no error")
+	}
+
+	// A lane whose programs are not Resettable is rejected at Reset.
+	bad := NewMultiSession(topo, 1, func(lane, v int) Node { return &duelingHogNode{threshold: 1 << 30} })
+	defer bad.Close()
+	if err := bad.Reset(0, nil); err == nil {
+		t.Error("Reset with non-Resettable programs: no error")
+	}
+}
+
+// TestLaneSteadyStateAllocs pins the per-lane steady-state allocation
+// budget: a warmed lane-fused Evaluation batch must stay within the solo
+// session budget (~2.5 allocs per Reset+Run, two sessions per Evaluation)
+// for every lane.
+func TestLaneSteadyStateAllocs(t *testing.T) {
+	g := graph.Path(256)
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := PreprocessOn(topo, WithScheduler(SchedulerDense), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes = 8
+	me := NewMultiEccSession(topo, info, 2*info.D+1, lanes, WithWorkers(1))
+	defer me.Close()
+	taus := make([][]int, lanes)
+	for l := range taus {
+		tau := make([]int, topo.N())
+		for v := range tau {
+			tau[v] = -1
+		}
+		tau[l*17] = 0
+		taus[l] = tau
+	}
+	batch := func() {
+		if _, _, err := me.EvalBatch(taus); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		batch() // warm the arenas and delivery buffers
+	}
+	allocs := testing.AllocsPerRun(20, batch)
+	perLane := allocs / lanes
+	// Solo EccSession.Eval costs ~5 allocs (two Reset param boxes, two Run
+	// bookkeeping pairs); allow the same envelope per lane.
+	if perLane > 6 {
+		t.Errorf("steady-state allocations: %.1f per lane per Evaluation (%.0f per batch), budget 6", perLane, allocs)
+	}
+}
+
+// TestCloneObserverRefused: cloning a session that has an observer is an
+// explicit error (the clones would share the callback and interleave their
+// traces); unobserved sessions keep cloning.
+func TestCloneObserverRefused(t *testing.T) {
+	topo, err := NewTopology(graph.Path(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	observed := NewSession(topo, func(v int) Node { return NewLeaderElectNode() },
+		WithObserver(recordObs(&trace)))
+	defer observed.Close()
+	if _, err := observed.Clone(); err == nil {
+		t.Error("Clone of an observed session: no error")
+	}
+	plain := NewSession(topo, func(v int) Node { return NewLeaderElectNode() })
+	defer plain.Close()
+	c, err := plain.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}

@@ -427,8 +427,11 @@ func (fr *frontierState) drainBucket(s int, b wakeBucket, cur *shardedBitset, co
 // receivers/near-wakes become current by a bitset swap, then the self-wakes
 // due by `round` and the always-active vertices are inserted (the bitset
 // dedupes, so no sort and no membership arrays).
-func (e *engine) buildFrontier(round int) {
-	fr := e.fr
+func (e *engine) buildFrontier(round int) { e.fr.build(round) }
+
+// build is buildFrontier's body, shared with the lane-fused engine
+// (lanes.go), which builds one frontier per lane per round.
+func (fr *frontierState) build(round int) {
 	fr.cur, fr.nxt = fr.nxt, fr.cur
 	fr.nxt.clear()
 	count := fr.nxtCount
@@ -458,8 +461,11 @@ func (e *engine) buildFrontier(round int) {
 // are exactly their initial states; folding this maximum (at the first
 // round barrier, like the dense engine's first samples) makes
 // Metrics.MaxStateBits scheduler-independent.
-func (e *engine) samplePre() {
-	fr := e.fr
+func (e *engine) samplePre() { e.fr.samplePre() }
+
+// samplePre is the shared body (see above); the lane-fused engine samples
+// each lane's pre-frontier states at that lane's first frontier build.
+func (fr *frontierState) samplePre() {
 	max := 0
 	for v, s := range fr.sizers {
 		if s == nil || fr.cur.has(int32(v)) {

@@ -335,11 +335,17 @@ func (s *Session) Topology() *Topology { return s.nw.topo }
 // Clone builds an independent session of the same program family: same
 // topology (shared, never copied), same options, freshly constructed node
 // programs and a private engine. Clones may run concurrently with each
-// other and with the original — with one caveat: the options are reused as
-// given, so a WithObserver callback is shared by every clone and must be
-// safe for concurrent use (or the observing session must not be pooled).
-func (s *Session) Clone() *Session {
-	return NewSession(s.nw.topo, s.makeNode, s.opts...)
+// other and with the original.
+//
+// A session with a WithObserver option refuses to clone: the options are
+// reused as given, so the clones would share one callback and interleave
+// their wire traces nondeterministically. Observe a solo Session — or a
+// MultiSession with SetLaneObserver, which keeps per-lane traces separate.
+func (s *Session) Clone() (*Session, error) {
+	if s.nw.observer != nil {
+		return nil, fmt.Errorf("congest: Clone of a session with an observer (traces would interleave; observe a solo Session or use MultiSession.SetLaneObserver)")
+	}
+	return NewSession(s.nw.topo, s.makeNode, s.opts...), nil
 }
 
 // Close stops the engine's worker goroutines. The session cannot run again

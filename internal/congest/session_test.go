@@ -337,7 +337,15 @@ func TestSessionCloneConcurrent(t *testing.T) {
 		e *EccSession
 	}
 	pool, err := NewPool(4, func(int) (*evalCtx, error) {
-		return &evalCtx{w: walk.Clone(), e: ecc.Clone()}, nil
+		w, err := walk.Clone()
+		if err != nil {
+			return nil, err
+		}
+		e, err := ecc.Clone()
+		if err != nil {
+			return nil, err
+		}
+		return &evalCtx{w: w, e: e}, nil
 	})
 	if err != nil {
 		t.Fatal(err)

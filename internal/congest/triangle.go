@@ -186,14 +186,19 @@ func (ts *TriangleSession) Eval(u0 int) (int, Metrics, error) {
 }
 
 // Clone builds an independent session over the same shared topology and
-// flags.
-func (ts *TriangleSession) Clone() *TriangleSession {
+// flags. Like Session.Clone, it refuses when the session carries an
+// observer.
+func (ts *TriangleSession) Clone() (*TriangleSession, error) {
+	cc, err := ts.cc.Clone()
+	if err != nil {
+		return nil, err
+	}
 	return &TriangleSession{
-		cc:     ts.cc.Clone(),
+		cc:     cc,
 		leader: ts.leader,
 		flags:  ts.flags,
 		vals:   make([]int, len(ts.vals)),
-	}
+	}, nil
 }
 
 // Close releases the session's engine.

@@ -85,7 +85,10 @@ func TestTriangleSessionEvalAndClone(t *testing.T) {
 	}
 	ts := NewTriangleSession(topo, info, flags, WithStrictAccounting())
 	defer ts.Close()
-	clone := ts.Clone()
+	clone, err := ts.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer clone.Close()
 	var baseRounds int
 	for u := 0; u < g.N(); u++ {
@@ -154,7 +157,10 @@ func TestCutSessionEvalAndClone(t *testing.T) {
 			}
 			cs := NewCutSession(topo, info, WithStrictAccounting())
 			defer cs.Close()
-			clone := cs.Clone()
+			clone, err := cs.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
 			defer clone.Close()
 			var baseRounds int
 			first := true

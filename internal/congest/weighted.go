@@ -409,15 +409,24 @@ func (es *WeightedEccSession) Eval(source int) (int, Metrics, error) {
 }
 
 // Clone builds an independent weighted ecc session over the same topology.
-func (es *WeightedEccSession) Clone() *WeightedEccSession {
+// Like Session.Clone, it refuses when the sessions carry an observer.
+func (es *WeightedEccSession) Clone() (*WeightedEccSession, error) {
+	sssp, err := es.sssp.Clone()
+	if err != nil {
+		return nil, err
+	}
+	cc, err := es.cc.Clone()
+	if err != nil {
+		return nil, err
+	}
 	return &WeightedEccSession{
-		sssp:     es.sssp.Clone(),
-		cc:       es.cc.Clone(),
+		sssp:     sssp,
+		cc:       cc,
 		leader:   es.leader,
 		n:        es.n,
 		duration: es.duration,
 		dv:       make([]int, len(es.dv)),
-	}
+	}, nil
 }
 
 // Close releases both sessions' engines.

@@ -81,7 +81,10 @@ func TestWeightedEccentricitySession(t *testing.T) {
 		}
 	}
 	// Clones evaluate independently and identically.
-	c := es.Clone()
+	c, err := es.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer c.Close()
 	for _, src := range []int{0, 7, 13} {
 		a, ma, err := es.Eval(src)

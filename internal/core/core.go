@@ -70,6 +70,13 @@ type Options struct {
 	// the computed Result is identical for every value; the knob only
 	// trades wall-clock time, like congest.WithWorkers.
 	Parallel int
+	// Lanes is the number of Evaluations fused into one engine pass
+	// (congest.MultiSession) when the Evaluation family supports it; <= 1
+	// keeps solo sessions. Lane fusion amortizes the per-round scheduler
+	// and topology cost across a batch and composes with Parallel. Like
+	// Parallel, it never changes the computed Result — every lane is
+	// bit-identical to a solo execution.
+	Lanes int
 	// Engine configures every CONGEST execution the algorithm performs
 	// (e.g. congest.WithWorkers). Results are engine-independent: the
 	// parallel engine is deterministic, so Engine only affects wall-clock
@@ -117,20 +124,50 @@ func (c *evalContext) Eval(x int) (value, rounds int, err error) { return c.eval
 // Close implements query.Context.
 func (c *evalContext) Close() { c.close() }
 
-// ctxOracle adapts an evalContext factory plus the measured framework costs
-// into a query.Oracle — the bridge every entry point in this package crosses
-// into the shared query layer.
+// batchEvalContext is the lane-fused counterpart of evalContext: eval runs
+// up to width independent Evaluations through one congest.MultiSession
+// pass. Its methods implement query.BatchContext.
+type batchEvalContext struct {
+	width int
+	eval  func(xs []int) (values, rounds []int, err error)
+	close func()
+}
+
+func (c *batchEvalContext) EvalBatch(xs []int) ([]int, []int, error) { return c.eval(xs) }
+func (c *batchEvalContext) Width() int                               { return c.width }
+func (c *batchEvalContext) Close()                                   { c.close() }
+
+// evalFamily is one Evaluation family: the solo context factory every
+// query needs, plus the optional lane-fused factory (nil when the family
+// cannot fuse, e.g. the weighted Bellman–Ford evaluation).
+type evalFamily struct {
+	newCtx      func() *evalContext
+	newBatchCtx func(lanes int) query.BatchContext
+}
+
+// ctxOracle adapts an evalFamily plus the measured framework costs into a
+// query.Oracle (and query.BatchOracle) — the bridge every entry point in
+// this package crosses into the shared query layer.
 type ctxOracle struct {
 	domain      []int
 	initRounds  int
 	setupRounds int
-	newCtx      func() *evalContext
+	family      evalFamily
 }
 
 func (o ctxOracle) Domain() []int             { return o.domain }
 func (o ctxOracle) InitRounds() int           { return o.initRounds }
 func (o ctxOracle) SetupRounds() int          { return o.setupRounds }
-func (o ctxOracle) NewContext() query.Context { return o.newCtx() }
+func (o ctxOracle) NewContext() query.Context { return o.family.newCtx() }
+
+// NewBatchContext implements query.BatchOracle; nil reports that this
+// family runs solo contexts only.
+func (o ctxOracle) NewBatchContext(lanes int) query.BatchContext {
+	if o.family.newBatchCtx == nil {
+		return nil
+	}
+	return o.family.newBatchCtx(lanes)
+}
 
 // ExactDiameterSimple runs the Section 3.1 algorithm: quantum maximum
 // finding over f(u) = ecc(u) with P_opt >= 1/n, giving Õ(sqrt(n)·D) rounds.
@@ -157,6 +194,7 @@ func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 		initRounds:  pre.Rounds,
 		setupRounds: d + 1,
 		parallel:    opts.Parallel,
+		lanes:       opts.Lanes,
 	})
 }
 
@@ -183,30 +221,13 @@ func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
 	// bottom-up max convergecast. All three phases have input-independent
 	// round counts. The walk and wave sessions are built once per context
 	// and every eval(u0) is a Reset+Run.
-	newCtx := func() *evalContext {
-		walk := congest.NewWalkSession(topo, info, info.Children, 2*d, opts.Engine...)
-		ecc := congest.NewEccSession(topo, info, 6*d+2, opts.Engine...)
-		return &evalContext{
-			eval: func(u0 int) (int, int, error) {
-				tau, mWalk, err := walk.Eval(u0)
-				if err != nil {
-					return 0, 0, err
-				}
-				value, mRest, err := ecc.Eval(tau)
-				if err != nil {
-					return 0, 0, err
-				}
-				return value, mWalk.Rounds + mRest.Rounds, nil
-			},
-			close: func() { walk.Close(); ecc.Close() },
-		}
-	}
+	fam := walkEccFamily(topo, info, info.Children, 2*d, 6*d+2, nil, opts)
 
 	eps := float64(d) / (2 * float64(n)) // Lemma 1
 	if eps > 1 {
 		eps = 1
 	}
-	return runOptimization(newCtx, optimizationParams{
+	return runOptimization(fam, optimizationParams{
 		domain:      identityDomain(n),
 		eps:         eps,
 		delta:       opts.delta(),
@@ -214,7 +235,76 @@ func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
 		initRounds:  pre.Rounds,
 		setupRounds: d + 1,
 		parallel:    opts.Parallel,
+		lanes:       opts.Lanes,
 	})
+}
+
+// walkEccFamily builds the Figure 2 Evaluation family shared by
+// ExactDiameter and ApproxDiameter: a steps-bounded token walk assigning
+// tau', then the wave process and max convergecast. check, when non-nil,
+// validates an input before any session runs (ApproxDiameter's R-membership
+// guard). The lane-fused factory runs both stages as MultiSession batches;
+// a walk failure aborts the batch before the wave stage, so its (solo-
+// identical) error is the one reported even if a smaller lane would have
+// failed later in the wave — acceptable, since Evaluation errors are
+// deterministic program violations that do not depend on cross-lane order.
+func walkEccFamily(topo *congest.Topology, info *congest.PreInfo, children [][]int,
+	steps, waveDuration int, check func(u0 int) error, opts Options) evalFamily {
+	return evalFamily{
+		newCtx: func() *evalContext {
+			walk := congest.NewWalkSession(topo, info, children, steps, opts.Engine...)
+			ecc := congest.NewEccSession(topo, info, waveDuration, opts.Engine...)
+			return &evalContext{
+				eval: func(u0 int) (int, int, error) {
+					if check != nil {
+						if err := check(u0); err != nil {
+							return 0, 0, err
+						}
+					}
+					tau, mWalk, err := walk.Eval(u0)
+					if err != nil {
+						return 0, 0, err
+					}
+					value, mRest, err := ecc.Eval(tau)
+					if err != nil {
+						return 0, 0, err
+					}
+					return value, mWalk.Rounds + mRest.Rounds, nil
+				},
+				close: func() { walk.Close(); ecc.Close() },
+			}
+		},
+		newBatchCtx: func(lanes int) query.BatchContext {
+			walk := congest.NewMultiWalkSession(topo, info, children, steps, lanes, opts.Engine...)
+			ecc := congest.NewMultiEccSession(topo, info, waveDuration, lanes, opts.Engine...)
+			rounds := make([]int, lanes)
+			return &batchEvalContext{
+				width: lanes,
+				eval: func(xs []int) ([]int, []int, error) {
+					if check != nil {
+						for i, u0 := range xs {
+							if err := check(u0); err != nil {
+								return nil, nil, &congest.LaneError{Lane: i, Err: err}
+							}
+						}
+					}
+					taus, mWalk, err := walk.EvalBatch(xs)
+					if err != nil {
+						return nil, nil, err
+					}
+					values, mRest, err := ecc.EvalBatch(taus)
+					if err != nil {
+						return nil, nil, err
+					}
+					for i := range xs {
+						rounds[i] = mWalk[i].Rounds + mRest[i].Rounds
+					}
+					return values, rounds[:len(xs)], nil
+				},
+				close: func() { walk.Close(); ecc.Close() },
+			}
+		},
+	}
 }
 
 // ApproxDiameter runs the Theorem 4 algorithm (Section 4, Figure 3): the
@@ -289,33 +379,19 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 		}
 	}
 
-	newCtx := func() *evalContext {
-		walk := congest.NewWalkSession(topo, wInfo, prep.RChild, window, opts.Engine...)
-		ecc := congest.NewEccSession(topo, wInfo, waveDuration, opts.Engine...)
-		return &evalContext{
-			eval: func(u0 int) (int, int, error) {
-				if !prep.RMembers[u0] {
-					return 0, 0, fmt.Errorf("core: evaluation input %d outside R", u0)
-				}
-				tau, mWalk, err := walk.Eval(u0)
-				if err != nil {
-					return 0, 0, err
-				}
-				value, mRest, err := ecc.Eval(tau)
-				if err != nil {
-					return 0, 0, err
-				}
-				return value, mWalk.Rounds + mRest.Rounds, nil
-			},
-			close: func() { walk.Close(); ecc.Close() },
+	inR := func(u0 int) error {
+		if !prep.RMembers[u0] {
+			return fmt.Errorf("core: evaluation input %d outside R", u0)
 		}
+		return nil
 	}
+	fam := walkEccFamily(topo, wInfo, prep.RChild, window, waveDuration, inR, opts)
 
 	eps := float64(d) / (2 * float64(prep.RSize))
 	if eps > 1 {
 		eps = 1
 	}
-	return runOptimization(newCtx, optimizationParams{
+	return runOptimization(fam, optimizationParams{
 		domain:      domain,
 		eps:         eps,
 		delta:       opts.delta(),
@@ -323,6 +399,7 @@ func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
 		initRounds:  probeM.Rounds + preM.Rounds,
 		setupRounds: tStar + 1, // broadcast down the R-subtree
 		parallel:    opts.Parallel,
+		lanes:       opts.Lanes,
 	})
 }
 
@@ -334,6 +411,7 @@ type optimizationParams struct {
 	initRounds  int
 	setupRounds int
 	parallel    int
+	lanes       int
 	// minimize runs quantum minimum finding instead of maximum finding
 	// (Dürr–Høyer is symmetric: amplify over negated values). Used by the
 	// radius entry points; eps then bounds the mass of minimizers.
@@ -346,30 +424,67 @@ type optimizationParams struct {
 // are built once per context; each eval resets them with the tau assignment
 // where only u0 initiates (tau' = 0). It computes f(u0) = ecc(u0), the
 // objective of ExactDiameterSimple, Radius and Eccentricities.
-func singleEccContext(topo *congest.Topology, info *congest.PreInfo, opts Options) func() *evalContext {
+func singleEccContext(topo *congest.Topology, info *congest.PreInfo, opts Options) evalFamily {
 	n := topo.N()
 	waveDuration := 2*info.D + 1
-	return func() *evalContext {
-		ecc := congest.NewEccSession(topo, info, waveDuration, opts.Engine...)
-		tau := make([]int, n)
-		for i := range tau {
-			tau[i] = -1
-		}
-		last := -1
-		return &evalContext{
-			eval: func(u0 int) (int, int, error) {
-				if last >= 0 {
-					tau[last] = -1
+	return evalFamily{
+		newCtx: func() *evalContext {
+			ecc := congest.NewEccSession(topo, info, waveDuration, opts.Engine...)
+			tau := make([]int, n)
+			for i := range tau {
+				tau[i] = -1
+			}
+			last := -1
+			return &evalContext{
+				eval: func(u0 int) (int, int, error) {
+					if last >= 0 {
+						tau[last] = -1
+					}
+					tau[u0], last = 0, u0
+					value, m, err := ecc.Eval(tau)
+					if err != nil {
+						return 0, 0, err
+					}
+					return value, m.Rounds, nil
+				},
+				close: ecc.Close,
+			}
+		},
+		newBatchCtx: func(lanes int) query.BatchContext {
+			ecc := congest.NewMultiEccSession(topo, info, waveDuration, lanes, opts.Engine...)
+			taus := make([][]int, lanes)
+			for l := range taus {
+				taus[l] = make([]int, n)
+				for i := range taus[l] {
+					taus[l][i] = -1
 				}
-				tau[u0], last = 0, u0
-				value, m, err := ecc.Eval(tau)
-				if err != nil {
-					return 0, 0, err
-				}
-				return value, m.Rounds, nil
-			},
-			close: ecc.Close,
-		}
+			}
+			lasts := make([]int, lanes)
+			for l := range lasts {
+				lasts[l] = -1
+			}
+			rounds := make([]int, lanes)
+			return &batchEvalContext{
+				width: lanes,
+				eval: func(xs []int) ([]int, []int, error) {
+					for i, u0 := range xs {
+						if lasts[i] >= 0 {
+							taus[i][lasts[i]] = -1
+						}
+						taus[i][u0], lasts[i] = 0, u0
+					}
+					values, mets, err := ecc.EvalBatch(taus[:len(xs)])
+					if err != nil {
+						return nil, nil, err
+					}
+					for i := range xs {
+						rounds[i] = mets[i].Rounds
+					}
+					return values, rounds[:len(xs)], nil
+				},
+				close: ecc.Close,
+			}
+		},
 	}
 }
 
@@ -377,33 +492,35 @@ func singleEccContext(topo *congest.Topology, info *congest.PreInfo, opts Option
 // Bellman–Ford relaxation from u0 plus a weighted max convergecast,
 // computing f(u0) = weighted ecc(u0). On an unweighted graph it degenerates
 // to hop eccentricities (all weights 1).
-func weightedEccContext(topo *congest.Topology, info *congest.PreInfo, opts Options) func() *evalContext {
-	return func() *evalContext {
-		ecc := congest.NewWeightedEccSession(topo, info, opts.Engine...)
-		return &evalContext{
-			eval: func(u0 int) (int, int, error) {
-				value, m, err := ecc.Eval(u0)
-				if err != nil {
-					return 0, 0, err
-				}
-				return value, m.Rounds, nil
-			},
-			close: ecc.Close,
-		}
+func weightedEccContext(topo *congest.Topology, info *congest.PreInfo, opts Options) evalFamily {
+	return evalFamily{
+		newCtx: func() *evalContext {
+			ecc := congest.NewWeightedEccSession(topo, info, opts.Engine...)
+			return &evalContext{
+				eval: func(u0 int) (int, int, error) {
+					value, m, err := ecc.Eval(u0)
+					if err != nil {
+						return 0, 0, err
+					}
+					return value, m.Rounds, nil
+				},
+				close: ecc.Close,
+			}
+		},
 	}
 }
 
 // runOptimization runs quantum maximum (or minimum) finding over the
 // Evaluation family through the shared query layer; the golden tests pin
 // this path to the pre-refactor outputs bit for bit.
-func runOptimization(newCtx func() *evalContext, p optimizationParams) (Result, error) {
+func runOptimization(fam evalFamily, p optimizationParams) (Result, error) {
 	oracle := ctxOracle{
 		domain:      p.domain,
 		initRounds:  p.initRounds,
 		setupRounds: p.setupRounds,
-		newCtx:      newCtx,
+		family:      fam,
 	}
-	qopts := query.Options{Delta: p.delta, Seed: p.seed, Parallel: p.parallel}
+	qopts := query.Options{Delta: p.delta, Seed: p.seed, Parallel: p.parallel, Lanes: p.lanes}
 	var qr query.Result
 	var err error
 	if p.minimize {

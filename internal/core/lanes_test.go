@@ -1,0 +1,136 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+)
+
+// Options.Lanes fuses independent Evaluations into one multi-lane engine
+// pass; because each lane is bit-identical to a solo session run, the
+// Result — value, rounds, every counter — must be identical to the
+// unfused execution for any lane count, alone or combined with Parallel,
+// engine workers, or either scheduler.
+func TestQuantumLaneEvaluationDeterministic(t *testing.T) {
+	g := graph.RandomConnected(96, 0.06, 6)
+	want, err := ExactDiameter(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{1, 2, 8} {
+		got, err := ExactDiameter(g, Options{Seed: 6, Lanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("lanes %d: Result %+v, want %+v", lanes, got, want)
+		}
+	}
+	got, err := ExactDiameter(g, Options{Seed: 6, Lanes: 4, Parallel: 3,
+		Engine: []congest.Option{congest.WithWorkers(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("lanes 4 + parallel 3 + workers 2: Result %+v, want %+v", got, want)
+	}
+	got, err = ExactDiameter(g, Options{Seed: 6, Lanes: 8,
+		Engine: []congest.Option{congest.WithScheduler(congest.SchedulerDense)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("lanes 8 under dense scheduler: Result %+v, want %+v", got, want)
+	}
+
+	wantSimple, err := ExactDiameterSimple(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSimple, err := ExactDiameterSimple(g, Options{Seed: 6, Lanes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSimple != wantSimple {
+		t.Errorf("simple, lanes 8: Result %+v, want %+v", gotSimple, wantSimple)
+	}
+
+	wantApprox, err := ApproxDiameter(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotApprox, err := ApproxDiameter(g, Options{Seed: 6, Lanes: 8, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotApprox != wantApprox {
+		t.Errorf("approx, lanes 8 + parallel 2: Result %+v, want %+v", gotApprox, wantApprox)
+	}
+
+	wantRadius, err := Radius(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRadius, err := Radius(g, Options{Seed: 6, Lanes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRadius != wantRadius {
+		t.Errorf("radius, lanes 8: Result %+v, want %+v", gotRadius, wantRadius)
+	}
+}
+
+// Eccentricities with Lanes routes the full-domain sweep through the
+// lane-fused batch path (query.EvalAll); the vector and every cost counter
+// must match the solo sweep exactly.
+func TestEccentricitiesLanesDeterministic(t *testing.T) {
+	g := graph.RandomConnected(80, 0.07, 9)
+	want, err := Eccentricities(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Seed: 9, Lanes: 2},
+		{Seed: 9, Lanes: 8},
+		{Seed: 9, Lanes: 8, Parallel: 3},
+		{Seed: 9, Lanes: 3, Engine: []congest.Option{congest.WithWorkers(2)}},
+	} {
+		got, err := Eccentricities(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("opts %+v: EccResult %+v, want %+v", opts, got, want)
+		}
+	}
+}
+
+// The weighted Evaluation family has no lane-fused factory; Lanes must fall
+// back to solo contexts silently, with identical results.
+func TestWeightedLanesFallback(t *testing.T) {
+	g := graph.WithWeights(graph.RandomConnected(40, 0.1, 3), 7, 11)
+	want, err := WeightedDiameter(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WeightedDiameter(g, Options{Seed: 3, Lanes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("weighted diameter, lanes 8: Result %+v, want %+v", got, want)
+	}
+	wantEcc, err := Eccentricities(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEcc, err := Eccentricities(g, Options{Seed: 3, Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotEcc, wantEcc) {
+		t.Errorf("weighted eccentricities, lanes 4: %+v, want %+v", gotEcc, wantEcc)
+	}
+}

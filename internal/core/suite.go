@@ -43,7 +43,7 @@ func trivialWeighted(g *graph.Graph) (Result, error) {
 }
 
 // eccContextFor picks the Evaluation family the graph's metric calls for.
-func eccContextFor(g *graph.Graph, topo *congest.Topology, info *congest.PreInfo, opts Options) func() *evalContext {
+func eccContextFor(g *graph.Graph, topo *congest.Topology, info *congest.PreInfo, opts Options) evalFamily {
 	if g.Weighted() {
 		return weightedEccContext(topo, info, opts)
 	}
@@ -79,6 +79,7 @@ func Radius(g *graph.Graph, opts Options) (Result, error) {
 		initRounds:  pre.Rounds,
 		setupRounds: info.D + 1,
 		parallel:    opts.Parallel,
+		lanes:       opts.Lanes,
 		minimize:    true,
 	})
 }
@@ -107,6 +108,7 @@ func WeightedDiameter(g *graph.Graph, opts Options) (Result, error) {
 		initRounds:  pre.Rounds,
 		setupRounds: info.D + 1,
 		parallel:    opts.Parallel,
+		lanes:       opts.Lanes,
 	})
 }
 
@@ -132,6 +134,7 @@ func WeightedRadius(g *graph.Graph, opts Options) (Result, error) {
 		initRounds:  pre.Rounds,
 		setupRounds: info.D + 1,
 		parallel:    opts.Parallel,
+		lanes:       opts.Lanes,
 		minimize:    true,
 	})
 }
@@ -183,12 +186,13 @@ func Eccentricities(g *graph.Graph, opts Options) (EccResult, error) {
 		domain:      identityDomain(n),
 		initRounds:  pre.Rounds,
 		setupRounds: info.D + 1,
-		newCtx:      eccContextFor(g, topo, info, opts),
+		family:      eccContextFor(g, topo, info, opts),
 	}
 	// The straight-line use of the query layer: one Evaluation per vertex,
-	// batched over cloned sessions, with the per-vertex cost uniformity (the
+	// batched over cloned sessions (Parallel) and fused into multi-lane
+	// engine passes (Lanes), with the per-vertex cost uniformity (the
 	// property the quantum queries rely on) asserted by EvalAll.
-	ecc, evalRounds, err := query.EvalAll(oracle, query.Options{Seed: opts.Seed, Parallel: opts.Parallel})
+	ecc, evalRounds, err := query.EvalAll(oracle, query.Options{Seed: opts.Seed, Parallel: opts.Parallel, Lanes: opts.Lanes})
 	if err != nil {
 		return EccResult{}, err
 	}

@@ -62,7 +62,7 @@ func triangleOracle(g *graph.Graph, opts Options) (ctxOracle, error) {
 		domain:      identityDomain(g.N()),
 		initRounds:  pre.Rounds + probe.Rounds,
 		setupRounds: info.D + 1,
-		newCtx: func() *evalContext {
+		family: evalFamily{newCtx: func() *evalContext {
 			ts := congest.NewTriangleSession(topo, info, flags, opts.Engine...)
 			return &evalContext{
 				eval: func(u0 int) (int, int, error) {
@@ -71,7 +71,7 @@ func triangleOracle(g *graph.Graph, opts Options) (ctxOracle, error) {
 				},
 				close: ts.Close,
 			}
-		},
+		}},
 	}, nil
 }
 
@@ -205,7 +205,7 @@ func MinTreeCut(g *graph.Graph, opts Options) (CutResult, error) {
 		domain:      domain,
 		initRounds:  pre.Rounds,
 		setupRounds: info.D + 1,
-		newCtx: func() *evalContext {
+		family: evalFamily{newCtx: func() *evalContext {
 			cs := congest.NewCutSession(topo, info, opts.Engine...)
 			return &evalContext{
 				eval: func(u0 int) (int, int, error) {
@@ -214,7 +214,7 @@ func MinTreeCut(g *graph.Graph, opts Options) (CutResult, error) {
 				},
 				close: cs.Close,
 			}
-		},
+		}},
 	}
 	qr, err := query.Minimum(oracle, 1/float64(len(domain)),
 		query.Options{Delta: opts.delta(), Seed: opts.Seed, Parallel: opts.Parallel})

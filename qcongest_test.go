@@ -243,7 +243,7 @@ func TestPublicSessionAPI(t *testing.T) {
 	}
 
 	pool, err := NewPool(3, func(int) (*CongestSession, error) {
-		return s.Clone(), nil
+		return s.Clone()
 	})
 	if err != nil {
 		t.Fatal(err)
