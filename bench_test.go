@@ -1519,3 +1519,157 @@ func TestWriteBatchBench(t *testing.T) {
 	}
 	fmt.Println("wrote BENCH_batch.json")
 }
+
+// --- Quantum APSP: the skeleton-oracle sweep vs the classical Bellman–Ford
+// inner loop (ISSUE 9; EXPERIMENTS.md, "Quantum APSP"). ---
+
+// apspBenchGraph is the shared workload: a sparse weighted Erdős–Rényi
+// graph above the S = V cutoff, so the sampled-skeleton (genuinely
+// sublinear) code path runs.
+func apspBenchGraph(n int) *Graph {
+	return WithWeights(RandomConnected(n, 8.0/float64(n), 1), 9, 2)
+}
+
+// BenchmarkApsp is the CI canary for the APSP sweep: one full n-source
+// sweep per iteration, solo vs 8 lanes, reporting the measured per-source
+// round cost (the domain metric the papers bound by Õ(sqrt(n) + D)).
+func BenchmarkApsp(b *testing.B) {
+	g := apspBenchGraph(256)
+	for _, lanes := range []int{1, 8} {
+		b.Run("er/n=256/lanes="+itoa(lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			var res ApspResult
+			for i := 0; i < b.N; i++ {
+				r, err := APSP(g, QuantumOptions{Seed: 1, Lanes: lanes}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(float64(res.EvalRounds), "rounds/eval")
+			b.ReportMetric(float64(res.Sources)*float64(b.N)/b.Elapsed().Seconds(), "evals/sec")
+		})
+	}
+}
+
+// apspClassicalBaseline freezes the classical weighted Evaluation cost on
+// the acceptance workload at the time quantum APSP landed: the fixed
+// (n-1)-round Bellman–Ford relaxation plus the weighted max convergecast,
+// measured on er-512. Future regenerations of BENCH_apsp.json keep this
+// denominator even as the classical path evolves. Rounds are deterministic,
+// so the value is machine-independent.
+var apspClassicalBaseline = struct {
+	Workload   string `json:"workload"`
+	N          int    `json:"n"`
+	EvalRounds int    `json:"eval_rounds"`
+}{
+	Workload:   "classical weighted eccentricity Evaluation ((n-1)-round Bellman–Ford + weighted max convergecast) on er-512, congest.WeightedEccSession",
+	N:          512,
+	EvalRounds: 516, // measured when quantum APSP landed (deterministic)
+}
+
+// apspBenchRow is one row of BENCH_apsp.json.
+type apspBenchRow struct {
+	Graph             string  `json:"graph"`
+	N                 int     `json:"n"`
+	Lanes             int     `json:"lanes"`
+	EvalRounds        int     `json:"eval_rounds"`
+	InitRounds        int     `json:"init_rounds"`
+	TotalRounds       int     `json:"total_rounds"`
+	EvalsPerSec       float64 `json:"evals_per_sec"`
+	RoundsVsClassical float64 `json:"eval_rounds_vs_frozen_classical"`
+	ClassicalEvalMeas int     `json:"classical_eval_rounds_measured"`
+}
+
+type apspBenchFile struct {
+	GeneratedBy       string         `json:"generated_by"`
+	GoVersion         string         `json:"go_version"`
+	NumCPU            int            `json:"num_cpu"`
+	Workload          string         `json:"workload"`
+	Note              string         `json:"note"`
+	ClassicalBaseline any            `json:"classical_baseline_frozen"`
+	Results           []apspBenchRow `json:"results"`
+}
+
+// TestWriteApspBench regenerates BENCH_apsp.json and enforces the
+// sublinearity acceptance: on er-512 the skeleton-oracle Evaluation must
+// cost strictly fewer rounds than the frozen classical Bellman–Ford
+// baseline. Too slow for the default run, so it is gated:
+//
+//	QCONGEST_BENCH_APSP=1 go test -run TestWriteApspBench -timeout 30m
+func TestWriteApspBench(t *testing.T) {
+	if os.Getenv("QCONGEST_BENCH_APSP") == "" {
+		t.Skip("set QCONGEST_BENCH_APSP=1 to measure and write BENCH_apsp.json")
+	}
+	out := apspBenchFile{
+		GeneratedBy: "QCONGEST_BENCH_APSP=1 go test -run TestWriteApspBench",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workload:    "quantum APSP sweep (skeleton distance oracle: H-hop Bellman–Ford + pipelined skeleton relay + weighted max convergecast) on sparse weighted Erdős–Rényi graphs",
+		Note: "eval_rounds is the measured per-source Evaluation cost — the papers' Õ(sqrt(n) + D) " +
+			"term; init_rounds covers preprocessing (BFS tree, skeleton relaxations, matrix " +
+			"distribution), amortized over all n sources. classical_baseline_frozen is the " +
+			"(n-1)-round Bellman–Ford Evaluation on er-512, measured when quantum APSP landed — " +
+			"the fixed denominator of eval_rounds_vs_frozen_classical. Rounds are deterministic; " +
+			"only evals_per_sec is machine-dependent. Lane counts change throughput only — every " +
+			"emitted row and every round counter is bit-identical across lanes " +
+			"(TestApspMatchesOracles).",
+		ClassicalBaseline: apspClassicalBaseline,
+	}
+	var accepted *apspBenchRow
+	for _, n := range []int{256, 512} {
+		g := apspBenchGraph(n)
+		// The measured classical Evaluation on this instance (recorded per
+		// row; the frozen er-512 value is the acceptance denominator).
+		topo, err := congest.NewTopology(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, _, err := congest.PreprocessOn(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ces := congest.NewWeightedEccSession(topo, info)
+		_, cm, err := ces.Eval(0)
+		ces.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lanes := range []int{1, 2, 4, 8} {
+			start := time.Now()
+			res, err := APSP(g, QuantumOptions{Seed: 1, Lanes: lanes}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			row := apspBenchRow{
+				Graph: "er", N: n, Lanes: lanes,
+				EvalRounds: res.EvalRounds, InitRounds: res.InitRounds, TotalRounds: res.Rounds,
+				EvalsPerSec:       float64(res.Sources) / elapsed.Seconds(),
+				RoundsVsClassical: float64(res.EvalRounds) / float64(apspClassicalBaseline.EvalRounds),
+				ClassicalEvalMeas: cm.Rounds,
+			}
+			out.Results = append(out.Results, row)
+			t.Logf("n=%-5d lanes=%-3d eval=%4d rounds (classical here %4d, frozen %d)  init=%6d  %7.1f evals/sec",
+				n, lanes, row.EvalRounds, cm.Rounds, apspClassicalBaseline.EvalRounds, row.InitRounds, row.EvalsPerSec)
+			if n == apspClassicalBaseline.N && lanes == 1 {
+				accepted = &out.Results[len(out.Results)-1]
+			}
+		}
+	}
+	if accepted == nil {
+		t.Fatal("acceptance row (n=512, lanes=1) missing")
+	}
+	if accepted.EvalRounds >= apspClassicalBaseline.EvalRounds {
+		t.Errorf("acceptance: skeleton Evaluation %d rounds >= frozen classical Bellman–Ford %d on er-512 — not sublinear",
+			accepted.EvalRounds, apspClassicalBaseline.EvalRounds)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_apsp.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_apsp.json")
+}

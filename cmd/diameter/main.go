@@ -7,12 +7,14 @@
 //	diameter -graph lollipop -n 80 -d 5 -algo classical-exact
 //	diameter -graph random -n 40 -param radius -weighted -maxw 8
 //	diameter -graph random -n 40 -param ecc -parallel 4
+//	diameter -graph random -n 60 -param apsp -weighted -lanes 8
 //	diameter -graph path -n 2048 -param ecc -lanes 8 -cpuprofile /tmp/ecc.prof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,31 +24,36 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "diameter:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("diameter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind       = flag.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
-		n          = flag.Int("n", 40, "number of vertices")
-		d          = flag.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
-		p          = flag.Float64("p", 0.1, "edge probability (random)")
-		algo       = flag.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx (diameter only; see -param)")
-		param      = flag.String("param", "diameter", "parameter: diameter|radius|ecc|triangle|mincut")
-		weighted   = flag.Bool("weighted", false, "assign uniform random edge weights in [1, maxw] and compute the weighted parameter")
-		maxw       = flag.Int("maxw", 8, "largest edge weight used by -weighted")
-		seed       = flag.Int64("seed", 1, "random seed")
-		workers    = flag.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
-		sched      = flag.String("sched", "frontier", "round scheduler: frontier|dense (output is identical for either)")
-		parallel   = flag.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
-		lanes      = flag.Int("lanes", 0, "Evaluations fused per lane-engine pass (0/1 = solo sessions; output is identical for any value)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		kind       = fs.String("graph", "random", "graph family: random|path|cycle|grid|lollipop|smallworld|caterpillar")
+		n          = fs.Int("n", 40, "number of vertices")
+		d          = fs.Int("d", 4, "target diameter (lollipop) / legs (caterpillar)")
+		p          = fs.Float64("p", 0.1, "edge probability (random)")
+		algo       = fs.String("algo", "quantum-exact", "algorithm: classical-exact|classical-approx|quantum-exact|quantum-simple|quantum-approx (diameter only; see -param)")
+		param      = fs.String("param", "diameter", "parameter: diameter|radius|ecc|apsp|triangle|mincut")
+		weighted   = fs.Bool("weighted", false, "assign uniform random edge weights in [1, maxw] and compute the weighted parameter")
+		maxw       = fs.Int("maxw", 8, "largest edge weight used by -weighted")
+		seed       = fs.Int64("seed", 1, "random seed")
+		workers    = fs.Int("workers", 0, "engine workers per round (0 = auto, 1 = serial; output is identical for any value)")
+		sched      = fs.String("sched", "frontier", "round scheduler: frontier|dense (output is identical for either)")
+		parallel   = fs.Int("parallel", 1, "evaluation sessions run concurrently by the quantum algorithms (output is identical for any value)")
+		lanes      = fs.Int("lanes", 0, "Evaluations fused per lane-engine pass (0/1 = solo sessions; output is identical for any value)")
+		sublinear  = fs.Bool("sublinear", false, "route the weighted parameters through the skeleton distance oracle (sublinear per-Evaluation rounds; -param apsp always does)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -62,13 +69,13 @@ func run() error {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "diameter: memprofile:", err)
+				fmt.Fprintln(stderr, "diameter: memprofile:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "diameter: memprofile:", err)
+				fmt.Fprintln(stderr, "diameter: memprofile:", err)
 			}
 		}()
 	}
@@ -81,6 +88,12 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown scheduler %q (want frontier or dense)", *sched)
 	}
+	// The single-Evaluation-per-query workloads never batch, so lane fusion
+	// cannot apply to them; say so instead of silently ignoring the flag.
+	if *lanes > 1 && (*param == "triangle" || *param == "mincut") {
+		fmt.Fprintf(stderr, "diameter: warning: -lanes %d has no effect for -param %s (single-evaluation workload, solo sessions)\n",
+			*lanes, *param)
+	}
 
 	g, err := buildGraph(*kind, *n, *d, *p, *seed)
 	if err != nil {
@@ -92,21 +105,22 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("graph=%s n=%d m=%d weighted=true maxw=%d true-weighted-diameter=%d\n",
+		fmt.Fprintf(stdout, "graph=%s n=%d m=%d weighted=true maxw=%d true-weighted-diameter=%d\n",
 			*kind, g.N(), g.M(), *maxw, truth)
 	} else {
 		truth, err := g.Diameter()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("graph=%s n=%d m=%d weighted=false true-diameter=%d\n", *kind, g.N(), g.M(), truth)
+		fmt.Fprintf(stdout, "graph=%s n=%d m=%d weighted=false true-diameter=%d\n", *kind, g.N(), g.M(), truth)
 	}
 
+	qopts := qcongest.QuantumOptions{Seed: *seed, Parallel: *parallel, Lanes: *lanes, Sublinear: *sublinear, Engine: engine}
 	if *param != "diameter" {
-		return runParam(g, *param, *weighted, *seed, *parallel, *lanes, engine)
+		return runParam(stdout, g, *param, *weighted, qopts)
 	}
 	if *weighted {
-		return runWeightedDiameter(g, *seed, *parallel, *lanes, engine)
+		return runWeightedDiameter(stdout, g, qopts)
 	}
 	switch *algo {
 	case "classical-exact":
@@ -114,17 +128,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("classical exact: diameter=%d rounds=%d messages=%d\n",
+		fmt.Fprintf(stdout, "classical exact: diameter=%d rounds=%d messages=%d\n",
 			res.Diameter, res.Metrics.Rounds, res.Metrics.Messages)
 	case "classical-approx":
 		res, err := qcongest.ClassicalApproxDiameter(g, 0, *seed, engine...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("classical 3/2-approx: estimate=%d rounds=%d\n", res.Diameter, res.Metrics.Rounds)
+		fmt.Fprintf(stdout, "classical 3/2-approx: estimate=%d rounds=%d\n", res.Diameter, res.Metrics.Rounds)
 	case "quantum-exact", "quantum-simple", "quantum-approx":
 		var res qcongest.QuantumResult
-		qopts := qcongest.QuantumOptions{Seed: *seed, Parallel: *parallel, Lanes: *lanes, Engine: engine}
 		switch *algo {
 		case "quantum-exact":
 			res, err = qcongest.QuantumExactDiameter(g, qopts)
@@ -136,7 +149,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: diameter=%d rounds=%d iterations=%d eval-rounds=%d qubits/node=%d leader=%d\n",
+		fmt.Fprintf(stdout, "%s: diameter=%d rounds=%d iterations=%d eval-rounds=%d qubits/node=%d leader=%d\n",
 			*algo, res.Diameter, res.Rounds, res.Iterations, res.EvalRounds, res.NodeQubits, res.LeaderQubits)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
@@ -145,10 +158,9 @@ func run() error {
 }
 
 // runParam dispatches the non-diameter entries of the distance-parameter
-// suite (-param radius|ecc), printing the quantum result against the
-// sequential oracle.
-func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parallel, lanes int, engine []qcongest.EngineOption) error {
-	qopts := qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Lanes: lanes, Engine: engine}
+// suite (-param radius|ecc|apsp|triangle|mincut), printing the quantum
+// result against the sequential oracle.
+func runParam(stdout io.Writer, g *qcongest.Graph, param string, weighted bool, qopts qcongest.QuantumOptions) error {
 	switch param {
 	case "radius":
 		var truth int
@@ -165,7 +177,7 @@ func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parall
 		if err != nil {
 			return err
 		}
-		fmt.Printf("quantum radius: radius=%d true-radius=%d rounds=%d iterations=%d eval-rounds=%d\n",
+		fmt.Fprintf(stdout, "quantum radius: radius=%d true-radius=%d rounds=%d iterations=%d eval-rounds=%d\n",
 			res.Diameter, truth, res.Rounds, res.Iterations, res.EvalRounds)
 	case "ecc":
 		res, err := qcongest.Eccentricities(g, qopts)
@@ -189,8 +201,28 @@ func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parall
 		if len(res.Ecc) > 0 {
 			lo, hi = slices.Min(res.Ecc), slices.Max(res.Ecc)
 		}
-		fmt.Printf("quantum eccentricities: n=%d match-oracle=%v rounds=%d eval-rounds=%d min=%d max=%d\n",
+		fmt.Fprintf(stdout, "quantum eccentricities: n=%d match-oracle=%v rounds=%d eval-rounds=%d min=%d max=%d\n",
 			len(res.Ecc), match, res.Rounds, res.EvalRounds, lo, hi)
+	case "apsp":
+		// Each streamed row is checked against a per-source Dijkstra run —
+		// n * O(m log n) oracle work, the same budget as the ecc oracle.
+		match := true
+		res, err := qcongest.APSP(g, qopts, func(source int, row []int) error {
+			want := g.Dijkstra(source)
+			for v := range row {
+				match = match && row[v] == want[v]
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		diam, rad := 0, 0
+		if len(res.Ecc) > 0 {
+			diam, rad = slices.Max(res.Ecc), slices.Min(res.Ecc)
+		}
+		fmt.Fprintf(stdout, "quantum apsp: n=%d match-oracle=%v diameter=%d radius=%d rounds=%d init-rounds=%d eval-rounds=%d\n",
+			res.Sources, match, diam, rad, res.Rounds, res.InitRounds, res.EvalRounds)
 	case "triangle":
 		res, err := qcongest.TriangleCount(g, qopts)
 		if err != nil {
@@ -202,17 +234,17 @@ func runParam(g *qcongest.Graph, param string, weighted bool, seed int64, parall
 				truth++
 			}
 		}
-		fmt.Printf("quantum triangle count: found=%v vertices=%d true-vertices=%d rounds=%d iterations=%d eval-rounds=%d\n",
+		fmt.Fprintf(stdout, "quantum triangle count: found=%v vertices=%d true-vertices=%d rounds=%d iterations=%d eval-rounds=%d\n",
 			res.Found, res.Count, truth, res.Rounds, res.Iterations, res.EvalRounds)
 	case "mincut":
 		res, err := qcongest.MinTreeCut(g, qopts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("quantum min tree cut: weight=%d root=%d rounds=%d iterations=%d eval-rounds=%d\n",
+		fmt.Fprintf(stdout, "quantum min tree cut: weight=%d root=%d rounds=%d iterations=%d eval-rounds=%d\n",
 			res.Weight, res.Root, res.Rounds, res.Iterations, res.EvalRounds)
 	default:
-		return fmt.Errorf("unknown parameter %q (want diameter, radius, ecc, triangle or mincut)", param)
+		return fmt.Errorf("unknown parameter %q (want diameter, radius, ecc, apsp, triangle or mincut)", param)
 	}
 	return nil
 }
@@ -232,16 +264,16 @@ func onTriangle(g *qcongest.Graph, v int) bool {
 
 // runWeightedDiameter handles -weighted with the default -param diameter:
 // the quantum weighted diameter against the Dijkstra oracle.
-func runWeightedDiameter(g *qcongest.Graph, seed int64, parallel, lanes int, engine []qcongest.EngineOption) error {
+func runWeightedDiameter(stdout io.Writer, g *qcongest.Graph, qopts qcongest.QuantumOptions) error {
 	truth, err := g.WeightedDiameter()
 	if err != nil {
 		return err
 	}
-	res, err := qcongest.WeightedDiameter(g, qcongest.QuantumOptions{Seed: seed, Parallel: parallel, Lanes: lanes, Engine: engine})
+	res, err := qcongest.WeightedDiameter(g, qopts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("quantum weighted diameter: diameter=%d true-weighted-diameter=%d rounds=%d iterations=%d eval-rounds=%d\n",
+	fmt.Fprintf(stdout, "quantum weighted diameter: diameter=%d true-weighted-diameter=%d rounds=%d iterations=%d eval-rounds=%d\n",
 		res.Diameter, truth, res.Rounds, res.Iterations, res.EvalRounds)
 	return nil
 }

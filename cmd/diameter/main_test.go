@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCLISmoke drives the run() entry point end to end for each parameter,
+// asserting the oracle-match markers in the output.
+func TestCLISmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"quantum exact",
+			[]string{"-graph", "random", "-n", "24", "-algo", "quantum-exact", "-seed", "3"},
+			"quantum-exact: diameter=",
+		},
+		{
+			"weighted radius",
+			[]string{"-graph", "random", "-n", "20", "-param", "radius", "-weighted", "-maxw", "6"},
+			"quantum radius:",
+		},
+		{
+			"apsp",
+			[]string{"-graph", "random", "-n", "24", "-param", "apsp", "-weighted", "-lanes", "8"},
+			"quantum apsp: n=24 match-oracle=true",
+		},
+		{
+			"apsp unweighted parallel",
+			[]string{"-graph", "path", "-n", "16", "-param", "apsp", "-parallel", "2"},
+			"quantum apsp: n=16 match-oracle=true",
+		},
+		{
+			"sublinear weighted diameter",
+			[]string{"-graph", "random", "-n", "20", "-weighted", "-sublinear", "-lanes", "4"},
+			"quantum weighted diameter:",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if err := run(tc.args, &stdout, &stderr); err != nil {
+				t.Fatalf("run(%v): %v\nstderr: %s", tc.args, err, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), tc.want) {
+				t.Fatalf("run(%v) output %q does not contain %q", tc.args, stdout.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestCLILanesWarning asserts the -lanes flag is called out (not silently
+// ignored) for the single-evaluation workloads that cannot batch, and stays
+// quiet where lane fusion applies.
+func TestCLILanesWarning(t *testing.T) {
+	var stdout, stderr strings.Builder
+	args := []string{"-graph", "random", "-n", "16", "-param", "triangle", "-lanes", "8"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(stderr.String(), "-lanes 8 has no effect for -param triangle") {
+		t.Fatalf("stderr %q lacks the ignored-lanes warning", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-graph", "random", "-n", "16", "-param", "mincut", "-lanes", "2"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(stderr.String(), "has no effect for -param mincut") {
+		t.Fatalf("stderr %q lacks the ignored-lanes warning", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-graph", "random", "-n", "16", "-param", "ecc", "-lanes", "8"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if strings.Contains(stderr.String(), "has no effect") {
+		t.Fatalf("stderr %q warns for a workload that does batch", stderr.String())
+	}
+	// An invalid lane count surfaces as an error, not a silent clamp.
+	if err := run([]string{"-n", "12", "-lanes", "-3"}, &stdout, &stderr); err == nil {
+		t.Fatal("negative -lanes accepted")
+	}
+}

@@ -38,7 +38,7 @@ import (
 // are < n, so the payload is one vertex-id-sized field.
 type distMsg struct{ D int }
 
-const kindDist = qcongest.MessageKind(18) // user-reserved range 18..31
+const kindDist = qcongest.MessageKind(20) // user-reserved range 20..31
 
 func (m *distMsg) WireKind() qcongest.MessageKind     { return kindDist }
 func (m *distMsg) MarshalWire(w *qcongest.WireWriter) { w.WriteID(m.D, w.N) }

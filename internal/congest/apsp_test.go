@@ -1,0 +1,286 @@
+package congest
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// skelFixture builds topology + preprocessing + a full-vertex skeleton
+// oracle (S = V, hop budget h) — the unconditionally exact configuration.
+func skelFixture(t *testing.T, g *graph.Graph, h, lanes int) (*Topology, *PreInfo, *SkelOracle) {
+	t.Helper()
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := PreprocessOn(topo, WithStrictAccounting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skeleton := make([]int, g.N())
+	for v := range skeleton {
+		skeleton[v] = v
+	}
+	o, err := NewSkelOracle(topo, info, skeleton, h, lanes, WithStrictAccounting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, info, o
+}
+
+// TestSkelOracleMatchesDijkstra checks distance rows and eccentricities of
+// the skeleton oracle against the sequential Dijkstra oracle for every
+// source, across hop budgets and worker counts, and that the per-Evaluation
+// round count is fixed across sources (input-independence — the property
+// the query framework asserts).
+func TestSkelOracleMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := weightedTestGraph(t, 22, seed)
+		for _, h := range []int{1, 3, g.N()} {
+			for _, workers := range []int{1, 8} {
+				_, _, o := skelFixture(t, g, h, 1)
+				es := o.NewEvalSession(WithWorkers(workers), WithStrictAccounting())
+				row := make([]int, g.N())
+				fixedRounds := -1
+				for src := 0; src < g.N(); src += 3 {
+					want := g.Dijkstra(src)
+					ecc, m, err := es.Eval(src, row)
+					if err != nil {
+						t.Fatalf("seed %d h %d workers %d src %d: %v", seed, h, workers, src, err)
+					}
+					wantEcc := 0
+					for v, d := range want {
+						if d != row[v] {
+							t.Fatalf("seed %d h %d src %d: row[%d] = %d, want %d", seed, h, src, v, row[v], d)
+						}
+						if d > wantEcc {
+							wantEcc = d
+						}
+					}
+					if ecc != wantEcc {
+						t.Fatalf("seed %d h %d src %d: ecc %d, want %d", seed, h, src, ecc, wantEcc)
+					}
+					if fixedRounds == -1 {
+						fixedRounds = m.Rounds
+					} else if m.Rounds != fixedRounds {
+						t.Fatalf("seed %d h %d src %d: %d rounds, want fixed %d (input-independence)",
+							seed, h, src, m.Rounds, fixedRounds)
+					}
+				}
+				es.Close()
+			}
+		}
+	}
+}
+
+// TestSkelOracleLaneInitBitIdentical checks the lane-fused init path:
+// batching the skeleton relaxations through MultiSession must leave
+// InitRounds and every Evaluation bit-identical to the solo init.
+func TestSkelOracleLaneInitBitIdentical(t *testing.T) {
+	g := weightedTestGraph(t, 20, 7)
+	_, _, solo := skelFixture(t, g, 3, 1)
+	for _, lanes := range []int{2, 8, 64} { // 64 > |S| exercises the clamp+pad path
+		_, _, fused := skelFixture(t, g, 3, lanes)
+		if fused.InitRounds != solo.InitRounds {
+			t.Fatalf("lanes %d: InitRounds %d, want solo %d", lanes, fused.InitRounds, solo.InitRounds)
+		}
+		se := solo.NewEvalSession(WithStrictAccounting())
+		fe := fused.NewEvalSession(WithStrictAccounting())
+		for src := 0; src < g.N(); src += 7 {
+			a, am, err := se.Eval(src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, bm, err := fe.Eval(src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b || am != bm {
+				t.Fatalf("lanes %d src %d: fused (%d, %+v) != solo (%d, %+v)", lanes, src, b, bm, a, am)
+			}
+		}
+		se.Close()
+		fe.Close()
+	}
+}
+
+// TestMultiSkelEvalMatchesSolo checks that every lane of the fused
+// evaluation session is bit-identical — eccentricity, distance row, and
+// Metrics — to a solo SkelEvalSession Eval.
+func TestMultiSkelEvalMatchesSolo(t *testing.T) {
+	g := weightedTestGraph(t, 18, 11)
+	_, _, o := skelFixture(t, g, 2, 1)
+	solo := o.NewEvalSession(WithStrictAccounting())
+	defer solo.Close()
+	for _, lanes := range []int{2, 5} {
+		me := o.NewMultiEvalSession(lanes, WithStrictAccounting())
+		rows := make([][]int, lanes)
+		for l := range rows {
+			rows[l] = make([]int, g.N())
+		}
+		soloRow := make([]int, g.N())
+		for base := 0; base+lanes <= g.N(); base += lanes {
+			sources := make([]int, lanes)
+			for l := range sources {
+				sources[l] = base + l
+			}
+			vals, mets, err := me.EvalBatch(sources, rows)
+			if err != nil {
+				t.Fatalf("lanes %d batch at %d: %v", lanes, base, err)
+			}
+			for l, src := range sources {
+				want, wm, err := solo.Eval(src, soloRow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vals[l] != want || mets[l] != wm {
+					t.Fatalf("lanes %d src %d: lane (%d, %+v) != solo (%d, %+v)",
+						lanes, src, vals[l], mets[l], want, wm)
+				}
+				for v := range soloRow {
+					if rows[l][v] != soloRow[v] {
+						t.Fatalf("lanes %d src %d: row[%d] = %d, want %d", lanes, src, v, rows[l][v], soloRow[v])
+					}
+				}
+			}
+		}
+		me.Close()
+	}
+}
+
+// TestSkelOracleSparseSkeletonError checks the documented failure mode: a
+// skeleton that misses every h-hop window of some shortest path yields an
+// explicit error, never a wrong distance. On a path graph, skeleton {0}
+// with h = 1 cannot reach the far end.
+func TestSkelOracleSparseSkeletonError(t *testing.T) {
+	g := graph.New(6)
+	for v := 0; v+1 < 6; v++ {
+		if err := g.AddWeightedEdge(v, v+1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := PreprocessOn(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewSkelOracle(topo, info, []int{0}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := o.NewEvalSession()
+	defer es.Close()
+	if _, _, err := es.Eval(5, nil); err == nil || !strings.Contains(err.Error(), "sample too sparse") {
+		t.Fatalf("sparse skeleton: err %v, want unreached-vertex error", err)
+	}
+}
+
+// TestSkelOracleValidation covers NewSkelOracle's parameter checks.
+func TestSkelOracleValidation(t *testing.T) {
+	g := weightedTestGraph(t, 8, 1)
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := PreprocessOn(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		skeleton []int
+		h        int
+	}{
+		{"hop budget zero", []int{0}, 0},
+		{"hop budget over n", []int{0}, 9},
+		{"empty skeleton", nil, 1},
+		{"oversized skeleton", make([]int, 9), 1},
+		{"vertex out of range", []int{0, 8}, 1},
+		{"duplicate vertex", []int{3, 3}, 1},
+	} {
+		if _, err := NewSkelOracle(topo, info, tc.skeleton, tc.h, 1); err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestSkelOracleSingleVertex checks the n = 1 degenerate case end to end.
+func TestSkelOracleSingleVertex(t *testing.T) {
+	g := graph.New(1)
+	_, _, o := skelFixture(t, g, 1, 1)
+	es := o.NewEvalSession(WithStrictAccounting())
+	defer es.Close()
+	row := make([]int, 1)
+	ecc, _, err := es.Eval(0, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc != 0 || row[0] != 0 {
+		t.Fatalf("n=1: ecc %d row %v, want 0 and [0]", ecc, row)
+	}
+}
+
+// TestDistBoundOverflowGuard checks the Topology build-time overflow guard
+// on (n-1)*MaxWeight with near-limit weight tables: the largest safe weight
+// passes and one past it is rejected. (NewTopologyFromCSR applies the same
+// guard, but CSR weights are int32, so it is only reachable on 32-bit
+// platforms.)
+func TestDistBoundOverflowGuard(t *testing.T) {
+	const n = 3
+	limit := (math.MaxInt - 2) / (n - 1)
+	for _, tc := range []struct {
+		name string
+		w    int
+		ok   bool
+	}{
+		{"small weight", 9, true},
+		{"largest safe weight", limit, true},
+		{"one past the limit", limit + 1, false},
+		{"max int weight", math.MaxInt, false},
+	} {
+		g := graph.New(n)
+		if err := g.AddWeightedEdge(0, 1, tc.w); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddWeightedEdge(1, 2, tc.w); err != nil {
+			t.Fatal(err)
+		}
+		topo, err := NewTopology(g)
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if topo.DistBound() != (n-1)*tc.w {
+				t.Fatalf("%s: DistBound %d, want %d", tc.name, topo.DistBound(), (n-1)*tc.w)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), "overflows") {
+			t.Fatalf("%s: err %v, want overflow error", tc.name, err)
+		}
+	}
+}
+
+// TestSkelOracleBoundCap checks that NewSkelOracle rejects topologies whose
+// distance bound would overflow the oracle's clamped arithmetic.
+func TestSkelOracleBoundCap(t *testing.T) {
+	g := graph.New(2)
+	if err := g.AddWeightedEdge(0, 1, skelMaxBound+1); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := PreprocessOn(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSkelOracle(topo, info, []int{0, 1}, 1, 1); err == nil {
+		t.Fatal("bound above skelMaxBound: no error")
+	}
+}

@@ -103,9 +103,15 @@ func FuzzWireMessage(f *testing.F) {
 	f.Add(uint8(KindChild), uint16(2), []byte{})
 	f.Add(uint8(KindAdj), uint16(40), []byte{0x1f})
 	f.Add(uint8(KindSide), uint16(12), []byte{0x01})
-	f.Add(uint8(KindCutSum), uint16(40), []byte{0x7f}) // 127 < bound: clean
-	f.Add(uint8(KindCutSum), uint16(40), []byte{0xff}) // 255 > bound: id range error
-	f.Add(uint8(KindCutSum), uint16(1000), []byte{})   // truncated
+	f.Add(uint8(KindCutSum), uint16(40), []byte{0x7f})         // 127 < bound: clean
+	f.Add(uint8(KindCutSum), uint16(40), []byte{0xff})         // 255 > bound: id range error
+	f.Add(uint8(KindCutSum), uint16(1000), []byte{})           // truncated
+	f.Add(uint8(KindSkelUp), uint16(40), []byte{0x83, 0x01})   // slot 3, mid value: clean
+	f.Add(uint8(KindSkelUp), uint16(40), []byte{0xff, 0xff})   // value past Bound+1: id range error
+	f.Add(uint8(KindSkelUp), uint16(1000), []byte{0x05})       // truncated value field
+	f.Add(uint8(KindSkelDown), uint16(40), []byte{0x00, 0x00}) // slot 0, value 0: clean
+	f.Add(uint8(KindSkelDown), uint16(40), []byte{0xfc, 0xff}) // slot past Slots: id range error
+	f.Add(uint8(KindSkelDown), uint16(1000), []byte{})         // truncated slot field
 	f.Fuzz(func(t *testing.T, kindByte uint8, nRaw uint16, data []byte) {
 		k := Kind(kindByte % numKinds)
 		if !Registered(k) {
@@ -125,6 +131,12 @@ func FuzzWireMessage(f *testing.F) {
 		case *msgWMax:
 			wm.Bound = bound
 		case *msgCutSum:
+			wm.Bound = bound
+		case *msgSkelUp:
+			wm.Slots = n
+			wm.Bound = bound
+		case *msgSkelDown:
+			wm.Slots = n
 			wm.Bound = bound
 		}
 		words := wordsFromBytes(data)
@@ -150,6 +162,12 @@ func FuzzWireMessage(f *testing.F) {
 		case *msgWMax:
 			wm.Bound = bound
 		case *msgCutSum:
+			wm.Bound = bound
+		case *msgSkelUp:
+			wm.Slots = n
+			wm.Bound = bound
+		case *msgSkelDown:
+			wm.Slots = n
 			wm.Bound = bound
 		}
 		r2 := Reader{N: n, words: w.words, off: 0, end: w.Len()}

@@ -11,6 +11,7 @@ package congest
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,9 @@ func NewTopology(g *graph.Graph) (*Topology, error) {
 		t.warena = make([]int, 2*g.M())
 		t.weights = make([][]int, n)
 		t.maxW = g.MaxWeight()
+	}
+	if err := validateDistBound(n, t.maxW); err != nil {
+		return nil, err
 	}
 	off := int32(0)
 	for v := 0; v < n; v++ {
@@ -147,6 +151,9 @@ func NewTopologyFromCSR(c *graph.CSR) (*Topology, error) {
 			t.weights[v] = t.warena[lo:hi:hi]
 		}
 	}
+	if err := validateDistBound(n, t.maxW); err != nil {
+		return nil, err
+	}
 	if n > 0 {
 		dist := make([]int32, n)
 		queue := make([]int32, n)
@@ -207,12 +214,31 @@ func (t *Topology) MaxWeight() int { return t.maxW }
 
 // DistBound returns the largest possible finite weighted distance,
 // (n-1) * MaxWeight: every weighted wire field that carries a distance is
-// sized to cover [0, DistBound].
+// sized to cover [0, DistBound]. The product cannot overflow: topology
+// construction rejects (n, maxW) combinations where it would (see
+// validateDistBound).
 func (t *Topology) DistBound() int {
 	if t.n <= 1 {
 		return 0
 	}
 	return (t.n - 1) * t.maxW
+}
+
+// validateDistBound rejects (n, maxW) combinations whose distance bound
+// (n-1)*maxW does not fit an int. Without this check the product silently
+// wraps and every weighted wire field is sized from the wrapped value —
+// encoders would then reject legitimate distances (or, worse, a negative
+// bound would corrupt the field-width arithmetic). The cap leaves headroom
+// for the Bound+2 field range the skeleton relay encodes (the "no value"
+// sentinel), so every bound-derived width computation stays in range.
+func validateDistBound(n, maxW int) error {
+	if n <= 1 || maxW <= 1 {
+		return nil
+	}
+	if maxW > (math.MaxInt-2)/(n-1) {
+		return fmt.Errorf("congest: distance bound (n-1)*maxW overflows int (n=%d, max weight %d)", n, maxW)
+	}
+	return nil
 }
 
 // Resettable is the lifecycle contract a node program implements to be

@@ -30,7 +30,7 @@ const KindBits = 5
 // numKinds is the size of the kind space (tags must fit in KindBits bits).
 const numKinds = 1 << KindBits
 
-// The message kinds shipped with this package. Kinds 18..31 are free for
+// The message kinds shipped with this package. Kinds 20..31 are free for
 // external programs (see RegisterKind and the qcongest facade).
 const (
 	kindInvalid   Kind = iota
@@ -51,6 +51,8 @@ const (
 	KindAdj            // triangle.go: adjacency announcement (one id)
 	KindSide           // cut.go: mark-flood side bit
 	KindCutSum         // cut.go: crossing-weight sum convergecast (Bound-ranged)
+	KindSkelUp         // apsp.go: (slot, value) skeleton-vector gather toward the root
+	KindSkelDown       // apsp.go: (slot, value) skeleton-vector broadcast down the tree
 )
 
 // WireMessage is a message that can be encoded to and decoded from the wire

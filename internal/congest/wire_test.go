@@ -156,6 +156,8 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 		&msgAdj{ID: 42},
 		&msgSide{Marked: true},
 		&msgCutSum{Sum: 512, Bound: 600},
+		&msgSkelUp{Slot: 7, Val: 451, Slots: 20, Bound: 450},
+		&msgSkelDown{Slot: 19, Val: 0, Slots: 20, Bound: 450},
 	}
 	covered := map[Kind]bool{}
 	var w Writer
@@ -194,6 +196,12 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 			got.(*msgWMax).Bound = s.Bound
 		case *msgCutSum:
 			got.(*msgCutSum).Bound = s.Bound
+		case *msgSkelUp:
+			got.(*msgSkelUp).Slots = s.Slots
+			got.(*msgSkelUp).Bound = s.Bound
+		case *msgSkelDown:
+			got.(*msgSkelDown).Slots = s.Slots
+			got.(*msgSkelDown).Bound = s.Bound
 		}
 		var r Reader
 		view.payloadReader(&r, n)

@@ -1,0 +1,318 @@
+package core
+
+// Quantum APSP and the sublinear weighted Evaluation — the Wang–Wu–Yao
+// ("Eccentricities and All-Pairs Shortest Paths in the Quantum CONGEST
+// Model") and Wu–Yao ("Quantum Complexity of Weighted Diameter and Radius
+// in CONGEST Networks") follow-ups, instantiated on this repository's
+// measured-round framework. Both papers replace the Θ(n)-round weighted
+// eccentricity Evaluation (one full Bellman–Ford relaxation) with a
+// skeleton distance oracle: after an init phase that samples a skeleton S
+// and preprocesses skeleton-to-vertex distances, one Evaluation from any
+// source costs Õ(sqrt(n) + D) rounds — a hop-bounded relaxation, a
+// pipelined relay of |S| values through the BFS tree, and a convergecast
+// (congest.SkelOracle implements the three phases; see DESIGN.md "Quantum
+// APSP" for the schedule).
+//
+// On top of the oracle:
+//
+//   - WeightedDiameter / WeightedRadius with Options.Sublinear run quantum
+//     maximum/minimum finding over the oracle-backed eccentricity family —
+//     Õ(sqrt(n)·(sqrt(n) + D)) total instead of Õ(sqrt(n)·n);
+//   - APSP runs the straight-line sweep: one Evaluation per source, lane-
+//     fused (Options.Lanes) and sharded over cloned sessions
+//     (Options.Parallel), streaming each Θ(n)-sized distance row to a
+//     callback instead of materializing the Θ(n²) table.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+	"qcongest/internal/query"
+)
+
+// skelCutoff is the vertex count below which the planner keeps the whole
+// vertex set as the skeleton (with hop budget 1): the oracle is then
+// unconditionally exact and asymptotics don't matter yet.
+const skelCutoff = 64
+
+// planSkeleton picks the oracle parameters for an n-vertex graph: the hop
+// budget h = Θ(sqrt(n log n)) and a seeded uniform sample of
+// s = ceil(3 n ln(n+1) / h) = Θ(sqrt(n log n)) skeleton vertices — enough
+// that every h-hop window of every shortest path contains a skeleton
+// vertex with high probability (a miss surfaces as an explicit Evaluation
+// error, never a wrong distance). Small graphs (or samples that would
+// reach n) fall back to S = V, h = 1, where the oracle is exact
+// unconditionally.
+func planSkeleton(n int, seed int64) (skeleton []int, h int) {
+	all := func() []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i
+		}
+		return s
+	}
+	if n <= skelCutoff {
+		return all(), 1
+	}
+	ln := math.Log(float64(n) + 1)
+	h = int(math.Ceil(math.Sqrt(6 * float64(n) * ln)))
+	if h > n-1 {
+		h = n - 1
+	}
+	s := int(math.Ceil(3 * float64(n) * ln / float64(h)))
+	if s >= n {
+		return all(), 1
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	skeleton = append([]int(nil), perm[:s]...)
+	sort.Ints(skeleton)
+	return skeleton, h
+}
+
+// buildSkelOracle plans and preprocesses the skeleton oracle for one
+// topology. The init relaxations are lane-fused through Options.Lanes
+// (wall-clock only; the charged InitRounds are bit-identical to solo runs).
+func buildSkelOracle(topo *congest.Topology, info *congest.PreInfo, opts Options) (*congest.SkelOracle, error) {
+	skeleton, h := planSkeleton(topo.N(), opts.Seed)
+	lanes := opts.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	return congest.NewSkelOracle(topo, info, skeleton, h, lanes, opts.Engine...)
+}
+
+// skelEccFamily is the oracle-backed weighted eccentricity Evaluation
+// family: f(u0) = weighted ecc(u0) in Õ(sqrt(n) + D) rounds per
+// Evaluation. The oracle itself is read-only after construction, so
+// cloned contexts (Options.Parallel) and lane fusion (Options.Lanes) both
+// apply.
+func skelEccFamily(o *congest.SkelOracle, opts Options) evalFamily {
+	return evalFamily{
+		newCtx: func() *evalContext {
+			es := o.NewEvalSession(opts.Engine...)
+			return &evalContext{
+				eval: func(u0 int) (int, int, error) {
+					value, m, err := es.Eval(u0, nil)
+					if err != nil {
+						return 0, 0, err
+					}
+					return value, m.Rounds, nil
+				},
+				close: es.Close,
+			}
+		},
+		newBatchCtx: func(lanes int) query.BatchContext {
+			me := o.NewMultiEvalSession(lanes, opts.Engine...)
+			rounds := make([]int, lanes)
+			return &batchEvalContext{
+				width: lanes,
+				eval: func(xs []int) ([]int, []int, error) {
+					values, mets, err := me.EvalBatch(xs, nil)
+					if err != nil {
+						return nil, nil, err
+					}
+					for i := range xs {
+						rounds[i] = mets[i].Rounds
+					}
+					return values, rounds[:len(xs)], nil
+				},
+				close: me.Close,
+			}
+		},
+	}
+}
+
+// ApspResult reports an all-pairs shortest-paths sweep together with its
+// measured CONGEST cost. The Θ(n²) distance table itself is streamed to
+// the APSP callback, never held here.
+type ApspResult struct {
+	// Sources is the number of distance rows emitted (= n).
+	Sources int
+	// Ecc[v] is the weighted eccentricity of v — max of its row, collected
+	// during the sweep.
+	Ecc []int
+	// Rounds is the total round complexity of the straight-line sweep:
+	// InitRounds + Sources * EvalRounds.
+	Rounds int
+	// InitRounds is the measured preprocessing cost: BFS-tree construction
+	// plus the oracle's skeleton relaxations and matrix distribution.
+	InitRounds int
+	// EvalRounds is the measured cost of one per-source Evaluation
+	// (identical for every source: all phase durations are fixed).
+	EvalRounds int
+}
+
+// APSP computes all-pairs shortest-path distances through the skeleton
+// oracle: one oracle Evaluation per source, each Õ(sqrt(n) + D) rounds.
+// Rows are delivered in source order through emit(source, row) — row[v] is
+// the exact weighted distance d(source, v); the slice is reused between
+// calls and only valid during the call (copy to retain). A nil emit skips
+// delivery (round accounting only). Options.Lanes fuses up to Lanes
+// Evaluations into one engine pass and Options.Parallel shards the sweep
+// over cloned sessions; like everywhere in this package, neither changes
+// any emitted value or the round accounting. An emit error aborts the
+// sweep and is returned verbatim.
+func APSP(g *graph.Graph, opts Options, emit func(source int, row []int) error) (ApspResult, error) {
+	if err := opts.validate(); err != nil {
+		return ApspResult{}, err
+	}
+	n := g.N()
+	if n <= 2 {
+		return apspTrivial(g, emit)
+	}
+	topo, err := congest.NewTopology(g)
+	if err != nil {
+		return ApspResult{}, err
+	}
+	info, pre, err := congest.PreprocessOn(topo, opts.Engine...)
+	if err != nil {
+		return ApspResult{}, err
+	}
+	oracle, err := buildSkelOracle(topo, info, opts)
+	if err != nil {
+		return ApspResult{}, err
+	}
+
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	span := opts.Lanes // sources per worker per block (1 = solo sessions)
+	if span < 1 {
+		span = 1
+	}
+
+	// One evaluation session per worker, reused across blocks.
+	evalRange := make([]func(lo, hi int, rows [][]int, rounds []int) error, workers)
+	for w := 0; w < workers; w++ {
+		if span == 1 {
+			es := oracle.NewEvalSession(opts.Engine...)
+			defer es.Close()
+			evalRange[w] = func(lo, hi int, rows [][]int, rounds []int) error {
+				for s := lo; s < hi; s++ {
+					_, m, err := es.Eval(s, rows[s-lo])
+					if err != nil {
+						return fmt.Errorf("apsp: source %d: %w", s, err)
+					}
+					rounds[s-lo] = m.Rounds
+				}
+				return nil
+			}
+		} else {
+			me := oracle.NewMultiEvalSession(span, opts.Engine...)
+			defer me.Close()
+			srcs := make([]int, span)
+			evalRange[w] = func(lo, hi int, rows [][]int, rounds []int) error {
+				for s := lo; s < hi; s++ {
+					srcs[s-lo] = s
+				}
+				_, mets, err := me.EvalBatch(srcs[:hi-lo], rows)
+				if err != nil {
+					return fmt.Errorf("apsp: sources %d-%d: %w", lo, hi-1, err)
+				}
+				for i := range mets[:hi-lo] {
+					rounds[i] = mets[i].Rounds
+				}
+				return nil
+			}
+		}
+	}
+
+	// The sweep: blocks of workers*span sources — each worker fills its
+	// span of the block's row buffer concurrently, then the block is
+	// emitted in source order. Peak extra memory is O(workers·span·n),
+	// never Θ(n²).
+	block := workers * span
+	rows := make([][]int, block)
+	for i := range rows {
+		rows[i] = make([]int, n)
+	}
+	rounds := make([]int, block)
+	errs := make([]error, workers)
+	res := ApspResult{Sources: n, Ecc: make([]int, n), InitRounds: pre.Rounds + oracle.InitRounds, EvalRounds: -1}
+	for base := 0; base < n; base += block {
+		upper := min(n, base+block)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := base + w*span
+			if lo >= upper {
+				errs[w] = nil
+				continue
+			}
+			hi := min(lo+span, upper)
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				off := lo - base
+				errs[w] = evalRange[w](lo, hi, rows[off:off+hi-lo], rounds[off:off+hi-lo])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Workers cover disjoint ascending ranges, so the first non-nil
+		// worker error is the smallest-source failure — deterministic.
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				return ApspResult{}, errs[w]
+			}
+		}
+		for s := base; s < upper; s++ {
+			row := rows[s-base]
+			ecc := 0
+			for _, d := range row {
+				if d > ecc {
+					ecc = d
+				}
+			}
+			res.Ecc[s] = ecc
+			// All phase durations are fixed, so the per-source cost must be
+			// input-independent — the same invariant query.EvalAll asserts.
+			if res.EvalRounds == -1 {
+				res.EvalRounds = rounds[s-base]
+			} else if rounds[s-base] != res.EvalRounds {
+				return ApspResult{}, fmt.Errorf("apsp: evaluation cost depends on input (source %d: %d rounds, source 0: %d)",
+					s, rounds[s-base], res.EvalRounds)
+			}
+			if emit != nil {
+				if err := emit(s, row); err != nil {
+					return ApspResult{}, err
+				}
+			}
+		}
+	}
+	res.Rounds = res.InitRounds + n*res.EvalRounds
+	return res, nil
+}
+
+// apspTrivial handles n <= 2 without any quantum phase, mirroring
+// trivialWeighted.
+func apspTrivial(g *graph.Graph, emit func(int, []int) error) (ApspResult, error) {
+	switch g.N() {
+	case 0:
+		return ApspResult{Ecc: []int{}}, nil
+	case 1:
+		if emit != nil {
+			if err := emit(0, []int{0}); err != nil {
+				return ApspResult{}, err
+			}
+		}
+		return ApspResult{Sources: 1, Ecc: []int{0}}, nil
+	default:
+		w := g.Weight(0, 1)
+		if w == 0 {
+			return ApspResult{}, graph.ErrDisconnected
+		}
+		if emit != nil {
+			for s, row := range [][]int{{0, w}, {w, 0}} {
+				if err := emit(s, row); err != nil {
+					return ApspResult{}, err
+				}
+			}
+		}
+		return ApspResult{Sources: 2, Ecc: []int{w, w}}, nil
+	}
+}

@@ -75,8 +75,17 @@ type Options struct {
 	// keeps solo sessions. Lane fusion amortizes the per-round scheduler
 	// and topology cost across a batch and composes with Parallel. Like
 	// Parallel, it never changes the computed Result — every lane is
-	// bit-identical to a solo execution.
+	// bit-identical to a solo execution. Negative values are rejected by
+	// every entry point (see Options.validate).
 	Lanes int
+	// Sublinear selects the skeleton distance-oracle Evaluation for the
+	// weighted parameters (WeightedDiameter, WeightedRadius and weighted
+	// Eccentricities): a seeded skeleton sample plus hop-bounded relaxation
+	// replaces the fixed (n-1)-round Bellman–Ford inner loop, making each
+	// Evaluation Õ(sqrt(n) + D) rounds instead of Θ(n). The default false
+	// keeps the classical inner loop (the golden-pinned path). APSP always
+	// uses the oracle. See DESIGN.md "Quantum APSP".
+	Sublinear bool
 	// Engine configures every CONGEST execution the algorithm performs
 	// (e.g. congest.WithWorkers). Results are engine-independent: the
 	// parallel engine is deterministic, so Engine only affects wall-clock
@@ -89,6 +98,21 @@ func (o Options) delta() float64 {
 		return 0.1
 	}
 	return o.Delta
+}
+
+// validate rejects option values that cannot mean anything: like the engine
+// worker count (where <= 0 selects a sane default), Lanes 0 and 1 both mean
+// solo sessions, but a negative lane count is a caller bug that previously
+// flowed unchecked into MultiSession construction. Every public entry point
+// calls this before building any topology or session.
+func (o Options) validate() error {
+	if o.Lanes < 0 {
+		return fmt.Errorf("core: Options.Lanes %d is negative (0 or 1 selects solo sessions)", o.Lanes)
+	}
+	if o.Parallel < 0 {
+		return fmt.Errorf("core: Options.Parallel %d is negative (0 or 1 selects sequential evaluation)", o.Parallel)
+	}
+	return nil
 }
 
 // ErrTrivial marks graphs handled without any quantum phase (n <= 2).
@@ -172,6 +196,9 @@ func (o ctxOracle) NewBatchContext(lanes int) query.BatchContext {
 // ExactDiameterSimple runs the Section 3.1 algorithm: quantum maximum
 // finding over f(u) = ecc(u) with P_opt >= 1/n, giving Õ(sqrt(n)·D) rounds.
 func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
@@ -202,6 +229,9 @@ func ExactDiameterSimple(g *graph.Graph, opts Options) (Result, error) {
 // finding over f(u0) = max_{v in S(u0)} ecc(v), where S(u0) covers every
 // vertex with probability >= d/2n (Lemma 1), giving Õ(sqrt(n·D)) rounds.
 func ExactDiameter(g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
@@ -314,6 +344,9 @@ func walkEccFamily(topo *congest.Topology, info *congest.PreInfo, children [][]i
 // and the output Dhat satisfies floor(2D/3) <= Dhat <= D with high
 // probability.
 func ApproxDiameter(g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	if r, err := trivialDiameter(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}

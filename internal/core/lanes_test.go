@@ -134,3 +134,54 @@ func TestWeightedLanesFallback(t *testing.T) {
 		t.Errorf("weighted eccentricities, lanes 4: %+v, want %+v", gotEcc, wantEcc)
 	}
 }
+
+// Negative Lanes (and Parallel) are caller bugs, rejected with an explicit
+// error by every entry point before any topology or session is built —
+// previously they flowed unchecked into MultiSession construction.
+func TestNegativeOptionsRejected(t *testing.T) {
+	g := graph.RandomConnected(12, 0.2, 1)
+	wg := graph.WithWeights(graph.RandomConnected(12, 0.2, 1), 5, 2)
+	for name, run := range map[string]func(Options) error{
+		"ExactDiameterSimple": func(o Options) error { _, err := ExactDiameterSimple(g, o); return err },
+		"ExactDiameter":       func(o Options) error { _, err := ExactDiameter(g, o); return err },
+		"ApproxDiameter":      func(o Options) error { _, err := ApproxDiameter(g, o); return err },
+		"Radius":              func(o Options) error { _, err := Radius(g, o); return err },
+		"WeightedDiameter":    func(o Options) error { _, err := WeightedDiameter(wg, o); return err },
+		"WeightedRadius":      func(o Options) error { _, err := WeightedRadius(wg, o); return err },
+		"Eccentricities":      func(o Options) error { _, err := Eccentricities(g, o); return err },
+		"APSP":                func(o Options) error { _, err := APSP(wg, o, nil); return err },
+	} {
+		if err := run(Options{Lanes: -1}); err == nil {
+			t.Errorf("%s: Lanes -1 accepted", name)
+		}
+		if err := run(Options{Parallel: -2}); err == nil {
+			t.Errorf("%s: Parallel -2 accepted", name)
+		}
+		// 0 and 1 both mean solo sessions — never an error.
+		if err := run(Options{Lanes: 0}); err != nil {
+			t.Errorf("%s: Lanes 0: %v", name, err)
+		}
+	}
+}
+
+// The sublinear (skeleton-oracle) weighted family has a lane-fused batch
+// factory; fused and solo sweeps must agree in every field.
+func TestSublinearLanesDeterministic(t *testing.T) {
+	g := graph.WithWeights(graph.RandomConnected(40, 0.1, 3), 7, 11)
+	want, err := Eccentricities(g, Options{Seed: 3, Sublinear: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Seed: 3, Sublinear: true, Lanes: 8},
+		{Seed: 3, Sublinear: true, Lanes: 4, Parallel: 2},
+	} {
+		got, err := Eccentricities(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("opts %+v: EccResult %+v, want %+v", opts, got, want)
+		}
+	}
+}

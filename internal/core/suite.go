@@ -42,12 +42,28 @@ func trivialWeighted(g *graph.Graph) (Result, error) {
 	return Result{}, errTrivial
 }
 
-// eccContextFor picks the Evaluation family the graph's metric calls for.
-func eccContextFor(g *graph.Graph, topo *congest.Topology, info *congest.PreInfo, opts Options) evalFamily {
+// eccContextFor picks the Evaluation family the graph's metric (and
+// Options.Sublinear) calls for, returning any extra measured init rounds
+// the family's preprocessing charged (the skeleton oracle's).
+func eccContextFor(g *graph.Graph, topo *congest.Topology, info *congest.PreInfo, opts Options) (evalFamily, int, error) {
 	if g.Weighted() {
-		return weightedEccContext(topo, info, opts)
+		return weightedFamilyFor(topo, info, opts)
 	}
-	return singleEccContext(topo, info, opts)
+	return singleEccContext(topo, info, opts), 0, nil
+}
+
+// weightedFamilyFor picks between the classical fixed-duration Bellman–Ford
+// Evaluation (the golden-pinned default) and the skeleton distance oracle
+// (Options.Sublinear), returning the oracle's measured init cost.
+func weightedFamilyFor(topo *congest.Topology, info *congest.PreInfo, opts Options) (evalFamily, int, error) {
+	if !opts.Sublinear {
+		return weightedEccContext(topo, info, opts), 0, nil
+	}
+	oracle, err := buildSkelOracle(topo, info, opts)
+	if err != nil {
+		return evalFamily{}, 0, err
+	}
+	return skelEccFamily(oracle, opts), oracle.InitRounds, nil
 }
 
 // Radius computes the exact radius min_u ecc(u) by quantum minimum finding
@@ -57,6 +73,9 @@ func eccContextFor(g *graph.Graph, topo *congest.Topology, info *congest.PreInfo
 // fixed-duration Bellman–Ford relaxation and the result is the weighted
 // radius.
 func Radius(g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	if g.Weighted() {
 		return WeightedRadius(g, opts)
 	}
@@ -89,6 +108,9 @@ func Radius(g *graph.Graph, opts Options) (Result, error) {
 // one fixed-duration Bellman–Ford relaxation plus a weighted max
 // convergecast; on an unweighted graph the result equals the hop diameter.
 func WeightedDiameter(g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	if r, err := trivialWeighted(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
@@ -100,12 +122,16 @@ func WeightedDiameter(g *graph.Graph, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return runOptimization(weightedEccContext(topo, info, opts), optimizationParams{
+	fam, oracleInit, err := weightedFamilyFor(topo, info, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return runOptimization(fam, optimizationParams{
 		domain:      identityDomain(g.N()),
 		eps:         1 / float64(g.N()),
 		delta:       opts.delta(),
 		seed:        opts.Seed,
-		initRounds:  pre.Rounds,
+		initRounds:  pre.Rounds + oracleInit,
 		setupRounds: info.D + 1,
 		parallel:    opts.Parallel,
 		lanes:       opts.Lanes,
@@ -115,6 +141,9 @@ func WeightedDiameter(g *graph.Graph, opts Options) (Result, error) {
 // WeightedRadius is WeightedDiameter's minimization twin: quantum minimum
 // finding over the weighted eccentricities.
 func WeightedRadius(g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	if r, err := trivialWeighted(g); !errors.Is(err, errTrivial) {
 		return r, err
 	}
@@ -126,12 +155,16 @@ func WeightedRadius(g *graph.Graph, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return runOptimization(weightedEccContext(topo, info, opts), optimizationParams{
+	fam, oracleInit, err := weightedFamilyFor(topo, info, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return runOptimization(fam, optimizationParams{
 		domain:      identityDomain(g.N()),
 		eps:         1 / float64(g.N()),
 		delta:       opts.delta(),
 		seed:        opts.Seed,
-		initRounds:  pre.Rounds,
+		initRounds:  pre.Rounds + oracleInit,
 		setupRounds: info.D + 1,
 		parallel:    opts.Parallel,
 		lanes:       opts.Lanes,
@@ -161,6 +194,9 @@ type EccResult struct {
 // identical to the sequential run. On weighted graphs each Evaluation is the
 // weighted one and the vector holds weighted eccentricities.
 func Eccentricities(g *graph.Graph, opts Options) (EccResult, error) {
+	if err := opts.validate(); err != nil {
+		return EccResult{}, err
+	}
 	n := g.N()
 	switch n {
 	case 0:
@@ -182,11 +218,15 @@ func Eccentricities(g *graph.Graph, opts Options) (EccResult, error) {
 	if err != nil {
 		return EccResult{}, err
 	}
+	fam, oracleInit, err := eccContextFor(g, topo, info, opts)
+	if err != nil {
+		return EccResult{}, err
+	}
 	oracle := ctxOracle{
 		domain:      identityDomain(n),
-		initRounds:  pre.Rounds,
+		initRounds:  pre.Rounds + oracleInit,
 		setupRounds: info.D + 1,
-		family:      eccContextFor(g, topo, info, opts),
+		family:      fam,
 	}
 	// The straight-line use of the query layer: one Evaluation per vertex,
 	// batched over cloned sessions (Parallel) and fused into multi-lane
@@ -198,8 +238,8 @@ func Eccentricities(g *graph.Graph, opts Options) (EccResult, error) {
 	}
 	return EccResult{
 		Ecc:        ecc,
-		Rounds:     pre.Rounds + n*evalRounds,
-		InitRounds: pre.Rounds,
+		Rounds:     pre.Rounds + oracleInit + n*evalRounds,
+		InitRounds: pre.Rounds + oracleInit,
 		EvalRounds: evalRounds,
 	}, nil
 }

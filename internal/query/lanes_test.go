@@ -1,0 +1,270 @@
+package query_test
+
+// Lane-fusion tests of the query framework: a BatchOracle built over the
+// Session-backed valueOracle checks the lane backend returns bit-identical
+// Results to solo evaluation across lane widths and worker counts, the
+// solo fallback when a family declines to fuse, and the error contracts
+// (smallest-failing-element selection for queries, unwrapped LaneErrors
+// for EvalAll) on in-memory fakes.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+	"qcongest/internal/query"
+)
+
+// batchValueOracle upgrades valueOracle to a query.BatchOracle. Each
+// EvalBatch evaluates its inputs serially on one inner solo context, so
+// values and round counts are bit-identical to solo Evals by construction —
+// the BatchContext contract. disable reports the family as unfusable
+// (NewBatchContext = nil), exercising the documented solo fallback.
+type batchValueOracle struct {
+	*valueOracle
+	disable bool
+	built   int
+}
+
+func (o *batchValueOracle) NewBatchContext(lanes int) query.BatchContext {
+	if o.disable {
+		return nil
+	}
+	o.built++
+	return &batchValueContext{inner: o.NewContext(), width: lanes}
+}
+
+type batchValueContext struct {
+	inner query.Context
+	width int
+}
+
+func (c *batchValueContext) Width() int { return c.width }
+
+func (c *batchValueContext) EvalBatch(xs []int) ([]int, []int, error) {
+	values := make([]int, len(xs))
+	rounds := make([]int, len(xs))
+	for i, x := range xs {
+		v, r, err := c.inner.Eval(x)
+		if err != nil {
+			return nil, nil, &congest.LaneError{Lane: i, Err: err}
+		}
+		values[i], rounds[i] = v, r
+	}
+	return values, rounds, nil
+}
+
+func (c *batchValueContext) Close() { c.inner.Close() }
+
+// laneRun is the full set of query outcomes one configuration produces.
+type laneRun struct {
+	Min, Max, Search, Count query.Result
+	All                     []int
+	EvalRounds              int
+}
+
+func runLaneQueries(t *testing.T, oracle query.Oracle, opts query.Options, threshold int) laneRun {
+	t.Helper()
+	n := len(oracle.Domain())
+	marked := func(v int) bool { return v >= threshold }
+	var run laneRun
+	var err error
+	if run.Min, err = query.Minimum(oracle, 1/float64(n), opts); err != nil {
+		t.Fatalf("Minimum: %v", err)
+	}
+	if run.Max, err = query.Maximum(oracle, 1/float64(n), opts); err != nil {
+		t.Fatalf("Maximum: %v", err)
+	}
+	if run.Search, err = query.Search(oracle, marked, opts); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if run.Count, err = query.Count(oracle, marked, opts); err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if run.All, run.EvalRounds, err = query.EvalAll(oracle, opts); err != nil {
+		t.Fatalf("EvalAll: %v", err)
+	}
+	return run
+}
+
+// TestQueryLanesBitIdentical checks that lane fusion (Options.Lanes through
+// a BatchOracle) reproduces the solo baseline bit for bit — every query
+// Result, the EvalAll table and its uniform cost — across lane widths
+// (including one wider than the domain), worker counts, and the
+// nil-BatchContext fallback. The zero Options (Delta/Parallel/Lanes all
+// defaulted) serve as the baseline, covering the option default paths.
+func TestQueryLanesBitIdentical(t *testing.T) {
+	g := graph.RandomConnected(16, 0.18, 9)
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]int, g.N())
+	for v := range vals {
+		vals[v] = rng.Intn(4*g.N() + 1)
+	}
+	threshold := rng.Intn(4*g.N() + 2)
+	engine := []congest.Option{congest.WithStrictAccounting()}
+
+	solo := newValueOracle(t, g, vals, engine...)
+	base := runLaneQueries(t, solo, query.Options{Seed: 17}, threshold)
+	if !reflect.DeepEqual(base.All, vals) {
+		t.Fatalf("EvalAll = %v, want the value table %v", base.All, vals)
+	}
+
+	for _, cfg := range []struct {
+		name            string
+		lanes, parallel int
+	}{
+		{"lanes2", 2, 0},
+		{"lanes5/par3", 5, 3},
+		{"lanes-wider-than-domain", g.N() + 3, 1},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			oracle := &batchValueOracle{valueOracle: newValueOracle(t, g, vals, engine...)}
+			opts := query.Options{Seed: 17, Lanes: cfg.lanes, Parallel: cfg.parallel}
+			got := runLaneQueries(t, oracle, opts, threshold)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("lane run diverges from solo baseline:\n got %+v\nwant %+v", got, base)
+			}
+			if oracle.built == 0 {
+				t.Error("BatchOracle was never asked for a batch context")
+			}
+		})
+	}
+
+	t.Run("nil-batch-context-fallback", func(t *testing.T) {
+		oracle := &batchValueOracle{valueOracle: newValueOracle(t, g, vals, engine...), disable: true}
+		got := runLaneQueries(t, oracle, query.Options{Seed: 17, Lanes: 4}, threshold)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("fallback run diverges from solo baseline:\n got %+v\nwant %+v", got, base)
+		}
+	})
+}
+
+// fakeOracle is an in-memory BatchOracle for the error contracts: f(x) =
+// (x*37) mod 101 in a fixed 7 rounds, failing at failAt (-1: never), with
+// optional input-dependent round counts (uneven).
+type fakeOracle struct {
+	n      int
+	failAt int
+	uneven bool
+}
+
+func (o *fakeOracle) Domain() []int {
+	d := make([]int, o.n)
+	for i := range d {
+		d[i] = i
+	}
+	return d
+}
+
+func (o *fakeOracle) InitRounds() int           { return 3 }
+func (o *fakeOracle) SetupRounds() int          { return 2 }
+func (o *fakeOracle) NewContext() query.Context { return fakeContext{o} }
+func (o *fakeOracle) eval(x int) (int, int, error) {
+	if x == o.failAt {
+		return 0, 0, errors.New("relay window missed")
+	}
+	r := 7
+	if o.uneven {
+		r += x % 2
+	}
+	return (x * 37) % 101, r, nil
+}
+
+type fakeContext struct{ o *fakeOracle }
+
+func (c fakeContext) Eval(x int) (int, int, error) { return c.o.eval(x) }
+func (c fakeContext) Close()                       {}
+
+func (o *fakeOracle) NewBatchContext(lanes int) query.BatchContext {
+	return fakeBatchContext{o: o, width: lanes}
+}
+
+type fakeBatchContext struct {
+	o     *fakeOracle
+	width int
+}
+
+func (b fakeBatchContext) Width() int { return b.width }
+
+func (b fakeBatchContext) EvalBatch(xs []int) ([]int, []int, error) {
+	values := make([]int, len(xs))
+	rounds := make([]int, len(xs))
+	for i, x := range xs {
+		v, r, err := b.o.eval(x)
+		if err != nil {
+			return nil, nil, &congest.LaneError{Lane: i, Err: err}
+		}
+		values[i], rounds[i] = v, r
+	}
+	return values, rounds, nil
+}
+
+func (b fakeBatchContext) Close() {}
+
+// TestQueryLaneErrorContract pins the error selection rules: queries wrap
+// the smallest failing element as "evaluate <x>" whether the failure came
+// from a lane or a solo pool; EvalAll surfaces the lane error unwrapped,
+// with the solo evaluation's message.
+func TestQueryLaneErrorContract(t *testing.T) {
+	failing := &fakeOracle{n: 12, failAt: 7}
+	eps := 1.0 / 12
+
+	if _, err := query.Maximum(failing, eps, query.Options{Seed: 1, Lanes: 3}); err == nil {
+		t.Error("lane-fused Maximum on a failing oracle: no error")
+	} else {
+		if !strings.Contains(err.Error(), "evaluate 7") {
+			t.Errorf("lane-fused Maximum error %q does not name element 7", err)
+		}
+		var le *congest.LaneError
+		if !errors.As(err, &le) || le.Lane != 7%3 {
+			t.Errorf("lane-fused Maximum error %v: lane %d, want %d", err, le.Lane, 7%3)
+		}
+	}
+	if _, err := query.Minimum(failing, eps, query.Options{Seed: 1, Lanes: 2, Parallel: 3}); err == nil {
+		t.Error("sharded lane-fused Minimum on a failing oracle: no error")
+	} else if !strings.Contains(err.Error(), "evaluate 7") {
+		t.Errorf("sharded Minimum error %q does not name element 7", err)
+	}
+	// The solo batch pool (Parallel > 1, no lanes) applies the same wrapping.
+	if _, err := query.Maximum(failing, eps, query.Options{Seed: 1, Parallel: 4}); err == nil {
+		t.Error("pooled Maximum on a failing oracle: no error")
+	} else if !strings.Contains(err.Error(), "evaluate 7") {
+		t.Errorf("pooled Maximum error %q does not name element 7", err)
+	}
+	if _, err := query.Search(failing, func(int) bool { return false }, query.Options{Seed: 1, Lanes: 4}); err == nil {
+		t.Error("lane-fused Search on a failing oracle: no error")
+	}
+
+	// EvalAll: unwrapped (the *congest.LaneError itself), message equal to
+	// the solo evaluation's; the solo path returns the bare error.
+	_, _, err := query.EvalAll(failing, query.Options{Lanes: 3})
+	var le *congest.LaneError
+	if !errors.As(err, &le) {
+		t.Errorf("lane-fused EvalAll error %v is not a *congest.LaneError", err)
+	}
+	if err == nil || err.Error() != "relay window missed" {
+		t.Errorf("lane-fused EvalAll error %v, want the solo message", err)
+	}
+	_, _, soloErr := query.EvalAll(failing, query.Options{})
+	if soloErr == nil || soloErr.Error() != "relay window missed" {
+		t.Errorf("solo EvalAll error %v, want the bare evaluation error", soloErr)
+	}
+
+	// Input-dependent round counts violate the uniformity EvalAll asserts,
+	// on both the lane-fused and solo paths.
+	uneven := &fakeOracle{n: 10, failAt: -1, uneven: true}
+	for _, opts := range []query.Options{{Lanes: 3}, {}} {
+		if _, _, err := query.EvalAll(uneven, opts); err == nil || !strings.Contains(err.Error(), "evaluation cost depends on input") {
+			t.Errorf("uneven oracle, opts %+v: err %v, want the uniformity violation", opts, err)
+		}
+	}
+
+	// An empty domain evaluates to an empty table at zero cost.
+	if vals, rounds, err := query.EvalAll(&fakeOracle{n: 0, failAt: -1}, query.Options{Lanes: 2}); err != nil || len(vals) != 0 || rounds != 0 {
+		t.Errorf("empty domain: (%v, %d, %v), want ([], 0, nil)", vals, rounds, err)
+	}
+}

@@ -191,7 +191,7 @@ type (
 	WireReader = congest.Reader
 	// WireView is a read-only window onto one encoded message.
 	WireView = congest.WireView
-	// MessageKind tags a wire-message type; kinds 18..31 are free for
+	// MessageKind tags a wire-message type; kinds 20..31 are free for
 	// external programs.
 	MessageKind = congest.Kind
 )
@@ -348,6 +348,26 @@ func WeightedDiameter(g *Graph, opts QuantumOptions) (QuantumResult, error) {
 // WeightedRadius is WeightedDiameter's minimization twin.
 func WeightedRadius(g *Graph, opts QuantumOptions) (QuantumResult, error) {
 	return core.WeightedRadius(g, opts)
+}
+
+// ApspResult reports an all-pairs shortest-paths sweep with its measured
+// CONGEST cost; the Θ(n²) distance table itself is streamed to the APSP
+// callback row by row, never materialized.
+type ApspResult = core.ApspResult
+
+// APSP computes exact all-pairs weighted shortest-path distances through
+// the skeleton distance oracle (the Wang–Wu–Yao / Wu–Yao sublinear
+// Evaluation): Õ(sqrt(n) + D) rounds per source after an Õ(sqrt(n)·(sqrt(n)
+// + D))-round preprocessing. Rows arrive in source order through
+// emit(source, row); the row slice is reused between calls (copy to
+// retain), and a nil emit runs the sweep for its round accounting only.
+// QuantumOptions.Lanes fuses Evaluations into multi-lane engine passes and
+// QuantumOptions.Parallel shards the sweep over cloned sessions; neither
+// changes any emitted value. Setting QuantumOptions.Sublinear routes
+// WeightedDiameter, WeightedRadius and weighted Eccentricities through the
+// same oracle.
+func APSP(g *Graph, opts QuantumOptions, emit func(source int, row []int) error) (ApspResult, error) {
+	return core.APSP(g, opts, emit)
 }
 
 // EccentricitiesResult reports a full eccentricity vector with its measured
