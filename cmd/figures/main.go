@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"qcongest"
@@ -16,36 +17,52 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "engine workers per round (0 = auto; measurements are identical for any value)")
-	flag.Parse()
-	engine := congest.WithWorkers(*workers)
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "engine workers per round (0 = auto; measurements are identical for any value)")
+		sched   = fs.String("sched", "frontier", "round scheduler: frontier|dense (measurements are identical for either)")
+		lanes   = fs.Int("lanes", 0, "Figure-2 ecc Evaluations fused per lane-engine pass (0/1 = solo sessions; outputs are identical for any value)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine := []congest.Option{congest.WithWorkers(*workers)}
+	switch *sched {
+	case "frontier":
+		engine = append(engine, congest.WithScheduler(congest.SchedulerFrontier))
+	case "dense":
+		engine = append(engine, congest.WithScheduler(congest.SchedulerDense))
+	default:
+		return fmt.Errorf("unknown scheduler %q (want frontier or dense)", *sched)
+	}
 
-	fmt.Println("=== Figure 1: BFS(leader) construction in O(D) rounds ===")
+	fmt.Fprintln(stdout, "=== Figure 1: BFS(leader) construction in O(D) rounds ===")
 	for _, n := range []int{30, 60, 120} {
 		g := qcongest.RandomConnected(n, 0.08, *seed)
-		info, m, err := congest.Preprocess(g, engine)
+		info, m, err := congest.Preprocess(g, engine...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("n=%4d: leader=%d ecc(leader)=%d preprocessing rounds=%d\n",
+		fmt.Fprintf(stdout, "n=%4d: leader=%d ecc(leader)=%d preprocessing rounds=%d\n",
 			n, info.Leader, info.D, m.Rounds)
 	}
 
-	fmt.Println("\n=== Figure 2: Evaluation procedure (walk + waves + convergecast) ===")
+	fmt.Fprintln(stdout, "\n=== Figure 2: Evaluation procedure (walk + waves + convergecast) ===")
 	g := qcongest.RandomConnected(40, 0.08, *seed)
 	topo, err := congest.NewTopology(g)
 	if err != nil {
 		return err
 	}
-	info, _, err := congest.PreprocessOn(topo, engine)
+	info, _, err := congest.PreprocessOn(topo, engine...)
 	if err != nil {
 		return err
 	}
@@ -59,30 +76,62 @@ func run() error {
 	}
 	// The Evaluation sessions are built once; each u0 is a Reset+Run — the
 	// same execution shape the quantum algorithms use per Grover iteration.
-	walk := congest.NewWalkSession(topo, info, info.Children, 2*info.D, engine)
+	// With -lanes > 1 the ecc Evaluations are fused into one lane-engine
+	// pass (MultiEccSession.EvalBatch); the per-u0 lines are bit-identical
+	// to the solo sessions either way.
+	u0s := []int{0, 13, 27}
+	walk := congest.NewWalkSession(topo, info, info.Children, 2*info.D, engine...)
 	defer walk.Close()
-	ecc := congest.NewEccSession(topo, info, 6*info.D+2, engine)
-	defer ecc.Close()
-	for _, u0 := range []int{0, 13, 27} {
+	taus := make([][]int, len(u0s))
+	walkRounds := make([]int, len(u0s))
+	for i, u0 := range u0s {
 		tau, mw, err := walk.Eval(u0)
 		if err != nil {
 			return err
 		}
-		val, mr, err := ecc.Eval(tau)
-		if err != nil {
-			return err
+		taus[i] = append([]int(nil), tau...)
+		walkRounds[i] = mw.Rounds
+	}
+	vals := make([]int, len(u0s))
+	eccRounds := make([]int, len(u0s))
+	if *lanes > 1 {
+		me := congest.NewMultiEccSession(topo, info, 6*info.D+2, *lanes, engine...)
+		defer me.Close()
+		for start := 0; start < len(u0s); start += *lanes {
+			end := min(start+*lanes, len(u0s))
+			vs, ms, err := me.EvalBatch(taus[start:end])
+			if err != nil {
+				return err
+			}
+			for i := start; i < end; i++ {
+				vals[i] = vs[i-start]
+				eccRounds[i] = ms[i-start].Rounds
+			}
 		}
+	} else {
+		ecc := congest.NewEccSession(topo, info, 6*info.D+2, engine...)
+		defer ecc.Close()
+		for i := range u0s {
+			val, mr, err := ecc.Eval(taus[i])
+			if err != nil {
+				return err
+			}
+			vals[i] = val
+			eccRounds[i] = mr.Rounds
+		}
+	}
+	for i, u0 := range u0s {
 		want := 0
 		for _, v := range tree.SetS(u0, info.D) {
 			if eccs[v] > want {
 				want = eccs[v]
 			}
 		}
-		fmt.Printf("u0=%2d: f(u0)=%d (reference %d) rounds=%d (O(D), D<=%d)\n",
-			u0, val, want, mw.Rounds+mr.Rounds, 2*info.D)
+		fmt.Fprintf(stdout, "u0=%2d: f(u0)=%d (reference %d) rounds=%d (O(D), D<=%d)\n",
+			u0, vals[i], want, walkRounds[i]+eccRounds[i], 2*info.D)
 	}
 
-	fmt.Println("\n=== Lemma 1: coverage of the window sets S(u) ===")
+	fmt.Fprintln(stdout, "\n=== Lemma 1: coverage of the window sets S(u) ===")
 	for _, tc := range []struct {
 		name string
 		g    *qcongest.Graph
@@ -91,14 +140,14 @@ func run() error {
 		{"random48", qcongest.RandomConnected(48, 0.07, *seed)},
 		{"tree31", qcongest.CompleteBinaryTree(31)},
 	} {
-		minProb, bound, err := qcongest.Lemma1Coverage(tc.g, engine)
+		minProb, bound, err := qcongest.Lemma1Coverage(tc.g, engine...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-9s min_v Pr[v in S(u0)] = %.3f >= d/2n = %.3f\n", tc.name, minProb, bound)
+		fmt.Fprintf(stdout, "%-9s min_v Pr[v in S(u0)] = %.3f >= d/2n = %.3f\n", tc.name, minProb, bound)
 	}
 
-	fmt.Println("\n=== Figure 4: G_n of Theorem 8 (n = 10, s = 2) ===")
+	fmt.Fprintln(stdout, "\n=== Figure 4: G_n of Theorem 8 (n = 10, s = 2) ===")
 	red, err := qcongest.NewHW12Reduction(2)
 	if err != nil {
 		return err
@@ -110,16 +159,16 @@ func run() error {
 		return err
 	}
 	diam, _ := gn.Diameter()
-	fmt.Printf("x=y=1000 (intersecting): diameter=%d (expected %d)\n", diam, red.D2)
+	fmt.Fprintf(stdout, "x=y=1000 (intersecting): diameter=%d (expected %d)\n", diam, red.D2)
 	y2, _ := qcongest.BitsFromString("0100")
 	gn2, err := red.Build(x, y2)
 	if err != nil {
 		return err
 	}
 	diam2, _ := gn2.Diameter()
-	fmt.Printf("x=1000 y=0100 (disjoint): diameter=%d (expected <= %d)\n", diam2, red.D1)
+	fmt.Fprintf(stdout, "x=1000 y=0100 (disjoint): diameter=%d (expected <= %d)\n", diam2, red.D1)
 
-	fmt.Println("\n(Figures 5-8: see cmd/lowerbound for the path network,")
-	fmt.Println(" subdivision and simulation experiments.)")
+	fmt.Fprintln(stdout, "\n(Figures 5-8: see cmd/lowerbound for the path network,")
+	fmt.Fprintln(stdout, " subdivision and simulation experiments.)")
 	return nil
 }

@@ -6,76 +6,91 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"qcongest"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		trials   = flag.Int("trials", 3, "seeds per quantum measurement")
-		seed     = flag.Int64("seed", 1, "base seed")
-		diam     = flag.Int("d", 4, "fixed diameter for the n sweep")
-		long     = flag.Bool("long", false, "use larger sweeps")
-		workers  = flag.Int("workers", 0, "engine workers per round (0 = auto; measured rounds are identical for any value)")
-		parallel = flag.Int("parallel", 1, "quantum trials run concurrently per sweep point (results are identical for any value)")
+		trials   = fs.Int("trials", 3, "seeds per quantum measurement")
+		seed     = fs.Int64("seed", 1, "base seed")
+		diam     = fs.Int("d", 4, "fixed diameter for the n sweep")
+		long     = fs.Bool("long", false, "use larger sweeps")
+		workers  = fs.Int("workers", 0, "engine workers per round (0 = auto; measured rounds are identical for any value)")
+		sched    = fs.String("sched", "frontier", "round scheduler: frontier|dense (measurements are identical for either)")
+		parallel = fs.Int("parallel", 1, "quantum trials run concurrently per sweep point (results are identical for any value)")
+		lanes    = fs.Int("lanes", 0, "Evaluations fused per lane-engine pass (0/1 = solo sessions; results are identical for any value)")
 	)
-	flag.Parse()
-	engine := qcongest.WithWorkers(*workers)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine := []qcongest.EngineOption{qcongest.WithWorkers(*workers)}
+	switch *sched {
+	case "frontier":
+		engine = append(engine, qcongest.WithScheduler(qcongest.SchedulerFrontier))
+	case "dense":
+		engine = append(engine, qcongest.WithScheduler(qcongest.SchedulerDense))
+	default:
+		return fmt.Errorf("unknown scheduler %q (want frontier or dense)", *sched)
+	}
 
 	sizes := []int{30, 60, 120}
 	if *long {
 		sizes = []int{40, 80, 160, 320}
 	}
 
-	fmt.Println("=== Table 1, row 'Exact computation' ===")
-	classical, quantum, err := qcongest.ExactComparison(sizes, *diam, *trials, *seed, *parallel, engine)
+	fmt.Fprintln(stdout, "=== Table 1, row 'Exact computation' ===")
+	classical, quantum, err := qcongest.ExactComparison(sizes, *diam, *trials, *seed, *parallel, *lanes, engine...)
 	if err != nil {
 		return err
 	}
-	fmt.Print(qcongest.FormatTable(classical, quantum))
-	fmt.Printf("classical slope vs n: %.2f (theory: 1.0)\n",
+	fmt.Fprint(stdout, qcongest.FormatTable(classical, quantum))
+	fmt.Fprintf(stdout, "classical slope vs n: %.2f (theory: 1.0)\n",
 		classical.Slope(func(p qcongest.Point) float64 { return float64(p.N) }))
-	fmt.Printf("quantum   slope vs n: %.2f (theory: 0.5)\n",
+	fmt.Fprintf(stdout, "quantum   slope vs n: %.2f (theory: 0.5)\n",
 		quantum.Slope(func(p qcongest.Point) float64 { return float64(p.N) }))
 	if cross, err := qcongest.CrossoverN(classical, quantum); err == nil {
-		fmt.Printf("extrapolated crossover: quantum wins beyond n ~ %.0f (D=%d)\n\n", cross, *diam)
+		fmt.Fprintf(stdout, "extrapolated crossover: quantum wins beyond n ~ %.0f (D=%d)\n\n", cross, *diam)
 	} else {
-		fmt.Printf("crossover extrapolation: %v\n\n", err)
+		fmt.Fprintf(stdout, "crossover extrapolation: %v\n\n", err)
 	}
 
-	fmt.Println("=== Theorem 1: quantum rounds vs D (n fixed) ===")
-	sweep, err := qcongest.DiameterSweep(sizes[len(sizes)-1]/2, []int{3, 6, 12}, *trials, *seed, *parallel, engine)
+	fmt.Fprintln(stdout, "=== Theorem 1: quantum rounds vs D (n fixed) ===")
+	sweep, err := qcongest.DiameterSweep(sizes[len(sizes)-1]/2, []int{3, 6, 12}, *trials, *seed, *parallel, *lanes, engine...)
 	if err != nil {
 		return err
 	}
-	fmt.Print(qcongest.FormatTable(sweep))
-	fmt.Printf("quantum slope vs D: %.2f (theory: 0.5)\n\n",
+	fmt.Fprint(stdout, qcongest.FormatTable(sweep))
+	fmt.Fprintf(stdout, "quantum slope vs D: %.2f (theory: 0.5)\n\n",
 		sweep.Slope(func(p qcongest.Point) float64 { return float64(p.D) }))
 
-	fmt.Println("=== Table 1, row '3/2-approximation' ===")
-	ca, qa, err := qcongest.ApproxComparison(sizes, *diam, *trials, *seed, *parallel, engine)
+	fmt.Fprintln(stdout, "=== Table 1, row '3/2-approximation' ===")
+	ca, qa, err := qcongest.ApproxComparison(sizes, *diam, *trials, *seed, *parallel, *lanes, engine...)
 	if err != nil {
 		return err
 	}
-	fmt.Print(qcongest.FormatTable(ca, qa))
+	fmt.Fprint(stdout, qcongest.FormatTable(ca, qa))
 
-	fmt.Println("=== Table 1, rows 'lower bounds': DISJ tradeoff (Theorem 5) ===")
+	fmt.Fprintln(stdout, "=== Table 1, rows 'lower bounds': DISJ tradeoff (Theorem 5) ===")
 	points, err := qcongest.MeasureDisjTradeoff(4096, []int{8, 16, 32, 64, 128, 256}, 15, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %8s %8s %8s %9s\n", "budget r", "blocks", "messages", "qubits")
+	fmt.Fprintf(stdout, "  %8s %8s %8s %9s\n", "budget r", "blocks", "messages", "qubits")
 	for _, p := range points {
-		fmt.Printf("  %8d %8d %8d %9d\n", p.MessageBudget, p.Blocks, p.Messages, p.Qubits)
+		fmt.Fprintf(stdout, "  %8d %8d %8d %9d\n", p.MessageBudget, p.Blocks, p.Messages, p.Qubits)
 	}
-	fmt.Println("  (shape: ~k/r for small r, minimum near r=sqrt(k), then ~r)")
+	fmt.Fprintln(stdout, "  (shape: ~k/r for small r, minimum near r=sqrt(k), then ~r)")
 	return nil
 }

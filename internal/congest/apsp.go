@@ -86,6 +86,21 @@ func (m *msgSkelUp) DeclaredBits(n int) int {
 	return KindBits + BitsForID(m.Slots) + BitsForID(m.Bound+2)
 }
 
+// The width is (Slots, Bound)-parameterized configuration (no
+// RegisterKindWidth), so under strict accounting the engine encodes these
+// via the generic path; the packed pair still serves the non-strict encode
+// and the receive-side decode.
+func (m *msgSkelUp) PackWire(n int) (uint64, int, bool) {
+	return packSkel(m.Slot, m.Val, m.Slots, m.Bound)
+}
+func (m *msgSkelUp) UnpackWire(n int, p uint64, width int) bool {
+	slot, val, ok := unpackSkel(p, width, m.Slots, m.Bound)
+	if ok {
+		m.Slot, m.Val = slot, val
+	}
+	return ok
+}
+
 func (m *msgSkelDown) WireKind() Kind { return KindSkelDown }
 func (m *msgSkelDown) MarshalWire(w *Writer) {
 	w.WriteID(m.Slot, m.Slots)
@@ -97,6 +112,47 @@ func (m *msgSkelDown) UnmarshalWire(r *Reader) {
 }
 func (m *msgSkelDown) DeclaredBits(n int) int {
 	return KindBits + BitsForID(m.Slots) + BitsForID(m.Bound+2)
+}
+
+// Same dynamic-width situation as msgSkelUp.
+func (m *msgSkelDown) PackWire(n int) (uint64, int, bool) {
+	return packSkel(m.Slot, m.Val, m.Slots, m.Bound)
+}
+func (m *msgSkelDown) UnpackWire(n int, p uint64, width int) bool {
+	slot, val, ok := unpackSkel(p, width, m.Slots, m.Bound)
+	if ok {
+		m.Slot, m.Val = slot, val
+	}
+	return ok
+}
+
+// packSkel packs the shared (slot, value) layout of the skeleton relay
+// kinds: slot in the low bits, value above it, mirroring the sequential
+// MarshalWire writes.
+func packSkel(slot, val, slots, bound int) (uint64, int, bool) {
+	if bound < 0 || slot < 0 || slot >= slots || val < 0 || val >= bound+2 {
+		return 0, 0, false
+	}
+	ws, wv := BitsForID(slots), BitsForID(bound+2)
+	if ws+wv > 64 {
+		return 0, 0, false
+	}
+	return uint64(slot) | uint64(val)<<ws, ws + wv, true
+}
+
+func unpackSkel(p uint64, width, slots, bound int) (int, int, bool) {
+	if bound < 0 || slots <= 0 {
+		return 0, 0, false
+	}
+	ws, wv := BitsForID(slots), BitsForID(bound+2)
+	if width != ws+wv {
+		return 0, 0, false
+	}
+	slot, val := p&(1<<uint(ws)-1), p>>uint(ws)
+	if slot >= uint64(slots) || val >= uint64(bound+2) {
+		return 0, 0, false
+	}
+	return int(slot), int(val), true
 }
 
 func init() {

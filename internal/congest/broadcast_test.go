@@ -1,0 +1,142 @@
+package congest
+
+// Tests for Broadcast's neighbor-row fast path and its slice-identity rule:
+// the sender's own neighbor row and any prefix subslice of it
+// (env.Neighbors[:j]) skip the per-copy adjacency probe; everything else —
+// content-equal copies, non-prefix subslices — runs through the validated
+// path and must stage the identical messages (or fail on a non-neighbor).
+
+import (
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+func TestBroadcastNeighborRowPrefix(t *testing.T) {
+	g := graph.RandomConnected(24, 0.2, 11)
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetworkOn(topo, func(v int) Node { return NewWaveNode(false, 0, 1) }, WithStrictAccounting())
+	tx := &msgWave{Tau: 2, Delta: 7}
+
+	sender := 0
+	row := topo.Neighbors(sender)
+	if len(row) < 2 {
+		t.Fatalf("vertex %d needs >= 2 neighbors for the prefix cases, has %d", sender, len(row))
+	}
+
+	// stage runs one round of sender staging through targets and returns
+	// the staged inboxes per destination plus the outbox accounting.
+	stage := func(targets []int, viaPut bool) (map[int][]Inbound, *Outbox) {
+		ob := newOutbox(nw, topo.N())
+		ob.beginRound(1)
+		ob.begin(sender)
+		if viaPut {
+			for _, to := range targets {
+				ob.Put(to, tx)
+			}
+		} else {
+			ob.Broadcast(targets, tx)
+		}
+		got := map[int][]Inbound{}
+		for v := 0; v < topo.N(); v++ {
+			if in := ob.appendChain(v, nil); len(in) > 0 {
+				got[v] = in
+			}
+		}
+		return got, ob
+	}
+
+	wantFull, obWant := stage(row, true) // Put loop: the validated oracle
+	if obWant.err != nil {
+		t.Fatal(obWant.err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		targets []int
+	}{
+		{"full row", row},
+		{"prefix row[:1]", row[:1]},
+		{"prefix row[:len-1]", row[:len(row)-1]},
+		{"non-prefix row[1:]", row[1:]},
+		{"content-equal copy", append([]int(nil), row...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ob := stage(tc.targets, false)
+			if ob.err != nil {
+				t.Fatal(ob.err)
+			}
+			want, obW := stage(tc.targets, true)
+			if obW.err != nil {
+				t.Fatal(obW.err)
+			}
+			if len(got) != len(tc.targets) {
+				t.Fatalf("staged to %d destinations, want %d", len(got), len(tc.targets))
+			}
+			if !inboundMapsEqual(got, want) {
+				t.Errorf("Broadcast(%v) staging differs from the Put-per-target oracle", tc.targets)
+			}
+			if ob.sent() != obW.sent() || ob.bitsTotal != obW.bitsTotal || ob.maxEdge != obW.maxEdge {
+				t.Errorf("accounting (%d msgs, %d bits, maxEdge %d) differs from oracle (%d, %d, %d)",
+					ob.sent(), ob.bitsTotal, ob.maxEdge, obW.sent(), obW.bitsTotal, obW.maxEdge)
+			}
+		})
+	}
+
+	// The full-row broadcast must stage exactly the oracle's full staging.
+	gotFull, ob := stage(row, false)
+	if ob.err != nil {
+		t.Fatal(ob.err)
+	}
+	if !inboundMapsEqual(gotFull, wantFull) {
+		t.Error("full-row Broadcast differs from the Put-per-target oracle")
+	}
+
+	// Slice identity, not content: a copied slice containing a non-neighbor
+	// must take the validated path and fail — the fast path never runs for
+	// caller-built slices, even ones that start neighbor-equal.
+	nonNeighbor := -1
+	for v := 0; v < topo.N(); v++ {
+		if v != sender && !topo.HasEdge(sender, v) {
+			nonNeighbor = v
+			break
+		}
+	}
+	if nonNeighbor < 0 {
+		t.Fatal("graph too dense: no non-neighbor available")
+	}
+	bad := append(append([]int(nil), row...), nonNeighbor)
+	_, obBad := stage(bad, false)
+	if obBad.err == nil {
+		t.Fatalf("Broadcast to copied slice containing non-neighbor %d did not fail", nonNeighbor)
+	}
+}
+
+// inboundMapsEqual compares staged inboxes by delivered content (sender,
+// kind, bits and the encoded wire bits), not by arena pointers.
+func inboundMapsEqual(a, b map[int][]Inbound) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, as := range a {
+		bs, ok := b[v]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			x, y := as[i], bs[i]
+			if x.From != y.From || x.Kind != y.Kind || x.Bits != y.Bits || x.wire.Len() != y.wire.Len() {
+				return false
+			}
+			for j := 0; j < x.wire.Len(); j++ {
+				if x.wire.Bit(j) != y.wire.Bit(j) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

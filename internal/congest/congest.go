@@ -100,6 +100,16 @@ func (in *Inbound) Decode(env *Env, m WireMessage) error {
 	if k := m.WireKind(); k != in.Kind {
 		return fmt.Errorf("congest: cannot decode %v message into %v", in.Kind, k)
 	}
+	// Single-word fast path: the whole message fits one uint64, so the
+	// payload is one shift-and-mask away. UnpackWire accepts exactly the
+	// payloads the generic decode accepts cleanly (the differential tests
+	// pin this); on ok=false we fall through to the generic path, which
+	// reproduces the canonical error.
+	if p, fast := m.(PackedWire); fast && in.wire.bits <= 64 {
+		if p.UnpackWire(env.N, in.wire.word()>>KindBits, int(in.wire.bits)-KindBits) {
+			return nil
+		}
+	}
 	rd := &env.rd // rd.N is fixed to env.N by the engine
 	rd.words = in.wire.words
 	rd.off = int(in.wire.off) + KindBits
@@ -131,13 +141,40 @@ type stagedMsg struct {
 	wire WireView
 }
 
+// stagedRec is one staged message copy in the Outbox's per-round SoA
+// delivery queue: a compact record (the arena offset stands in for the
+// 32-byte WireView, which delivery reconstructs) threaded into its
+// receiver's chain through `next`.
+type stagedRec struct {
+	start int   // bit offset of the encoded copy in the arena
+	from  int32 // sender
+	next  int32 // next record for the same receiver; -1 ends the chain
+	bits  int32 // encoded length, tag included
+	kind  Kind
+}
+
+// destChain heads one receiver's chain of staged records. The stamp makes
+// the chain's liveness O(1) per round: a chain is current iff its stamp
+// equals the outbox's round serial, so beginRound resets every chain by
+// bumping the serial instead of sweeping a touch list.
+type destChain struct {
+	stamp      uint64
+	head, tail int32
+}
+
+// edgeCell is one directed edge's bit total for the current sender,
+// stamp-checked against the per-sender serial the same way.
+type edgeCell struct {
+	stamp uint64
+	bits  int32
+}
+
 // Outbox collects the messages a node sends in one round. Put marshals the
 // message into the worker's bit arena immediately — the encoded length is
 // the message's cost — validates the destination, the encoding, and the
-// per-edge bandwidth budget, and stages the message straight into the
-// worker's per-receiver delivery buffers. After the first violation the
-// Outbox goes inert and the run aborts with that error at the round
-// barrier.
+// per-edge bandwidth budget, and stages a compact record into the worker's
+// delivery queue. After the first violation the Outbox goes inert and the
+// run aborts with that error at the round barrier.
 type Outbox struct {
 	nw     *Network
 	round  int
@@ -145,72 +182,73 @@ type Outbox struct {
 
 	arena Writer
 
-	// Delivery buffers: buf[to] accumulates this round's messages for
-	// receiver `to`; touched lists the non-empty entries so the next round
-	// can recycle them without sweeping all n receivers.
-	buf     [][]Inbound
-	touched []int
+	// SoA delivery queue (DESIGN.md "Wire hot-path anatomy"): q holds one
+	// record per staged copy in staging order; dest[to] heads receiver
+	// `to`'s chain through q; touched lists the receivers first staged
+	// this round, in staging order (the frontier claim pass and the
+	// reference engine iterate it). qSerial is bumped by beginRound, so
+	// recycling the queue and every chain is O(1).
+	q       []stagedRec
+	dest    []destChain
+	touched []int32
+	qSerial uint64
 
 	// Observer support: the current sender's emissions in order, kept only
 	// when a run observer needs the canonical replay.
 	keepMsgs bool
 	msgs     []stagedMsg
 
-	// Per-round accounting (the worker's metrics shard).
-	messages  int
+	// Per-round accounting (the worker's metrics shard). The message count
+	// is derived at the barrier (len(q)); only the bit total and the edge
+	// maximum are tracked inline — the edge ledger is transient per sender,
+	// so its maximum cannot be recovered later.
 	bitsTotal int
 	maxEdge   int
 	err       error
 	errSender int
 
-	// Directed-edge bit ledger for the current sender.
-	edge        []int
-	edgeTouched []int
+	// Directed-edge bit ledger for the current sender; edgeSerial is
+	// bumped by begin, making the per-sender reset O(1) (edges are
+	// directed: no other sender contributes to (v, to) totals).
+	edge       []edgeCell
+	edgeSerial uint64
 }
 
 func newOutbox(nw *Network, n int) *Outbox {
 	return &Outbox{
 		nw:        nw,
-		buf:       make([][]Inbound, n),
+		dest:      make([]destChain, n),
 		keepMsgs:  nw.observer != nil,
-		edge:      make([]int, n),
+		edge:      make([]edgeCell, n),
 		errSender: -1,
 	}
 }
 
 // beginRound resets the per-round state: the arena words and the delivery
-// buffers are recycled, so steady-state rounds allocate nothing.
+// queue are recycled and the chain stamps are invalidated by one serial
+// bump, so steady-state rounds allocate nothing and reset in O(1).
 func (o *Outbox) beginRound(round int) {
 	o.round = round
 	o.sender = -1
 	o.arena.Reset(o.nw.topo.n)
-	for _, to := range o.touched {
-		o.buf[to] = o.buf[to][:0]
-	}
+	o.q = o.q[:0]
 	o.touched = o.touched[:0]
-	o.messages = 0
+	o.qSerial++
 	o.bitsTotal = 0
 	o.maxEdge = 0
 	o.err = nil
 	o.errSender = -1
-	o.clearLedger()
+	o.edgeSerial++
 }
 
-// begin starts staging for sender v. Edges are directed, so the per-edge
-// ledger resets per sender: no other sender contributes to (v, to) totals.
+// begin starts staging for sender v; the serial bump is the O(1) per-edge
+// ledger reset.
 func (o *Outbox) begin(v int) {
 	o.sender = v
 	if o.keepMsgs {
 		o.msgs = o.msgs[:0]
 	}
-	o.clearLedger()
-}
-
-func (o *Outbox) clearLedger() {
-	for _, to := range o.edgeTouched {
-		o.edge[to] = 0
-	}
-	o.edgeTouched = o.edgeTouched[:0]
+	o.edgeSerial++
 }
 
 func (o *Outbox) fail(err error) {
@@ -220,8 +258,29 @@ func (o *Outbox) fail(err error) {
 
 // encode marshals m (kind tag + payload) into the arena and returns its
 // start offset and encoded length. ok is false after a validation failure.
+//
+// Messages implementing PackedWire whose encoding fits one word take the
+// single-write fast path; under strict accounting the cross-check is the
+// precomputed per-kind width table (one integer compare). Any condition
+// the fast path cannot certify — pack refusal, width over one word, a
+// strict check with no fixed width — falls through to the generic path
+// below, which produces the canonical encodings and errors.
 func (o *Outbox) encode(m WireMessage) (start, bits int, k Kind, ok bool) {
 	k = m.WireKind()
+	if p, fast := m.(PackedWire); fast && Registered(k) {
+		if payload, width, pok := p.PackWire(o.arena.N); pok {
+			bits = KindBits + width
+			if bits <= 64 && (!o.nw.strict || int(o.nw.packW[k]) == bits) {
+				word := uint64(k) | payload<<KindBits
+				if bits < 64 {
+					word &= 1<<uint(bits) - 1 // cap a buggy codec's stray high bits
+				}
+				start = o.arena.Len()
+				o.arena.writeRaw(word, bits)
+				return start, bits, k, true
+			}
+		}
+	}
 	if !Registered(k) {
 		o.fail(fmt.Errorf("congest: round %d: node %d sent a message of unregistered kind %d",
 			o.round, o.sender, uint8(k)))
@@ -249,8 +308,8 @@ func (o *Outbox) encode(m WireMessage) (start, bits int, k Kind, ok bool) {
 }
 
 // stageTo validates the destination and the per-edge bandwidth for one copy
-// of an encoded message and stages it into the delivery buffer.
-func (o *Outbox) stageTo(to int, k Kind, bits int, view WireView) {
+// of an encoded message and stages it into the delivery queue.
+func (o *Outbox) stageTo(to int, k Kind, bits, start int) {
 	if o.err != nil {
 		return
 	}
@@ -258,33 +317,110 @@ func (o *Outbox) stageTo(to int, k Kind, bits int, view WireView) {
 		o.fail(fmt.Errorf("congest: round %d: node %d sent to non-neighbor %d", o.round, o.sender, to))
 		return
 	}
-	o.stageKnownEdge(to, k, bits, view)
+	o.stageKnownEdge(to, k, bits, start)
 }
 
 // stageKnownEdge is stageTo for a destination already known to be a
 // neighbor (the Broadcast-to-neighbor-row fast path); the bandwidth ledger
 // and the delivery staging are identical.
-func (o *Outbox) stageKnownEdge(to int, k Kind, bits int, view WireView) {
-	if o.edge[to] == 0 {
-		o.edgeTouched = append(o.edgeTouched, to)
+func (o *Outbox) stageKnownEdge(to int, k Kind, bits, start int) {
+	ec := &o.edge[to]
+	eb := int32(bits)
+	if ec.stamp == o.edgeSerial {
+		eb += ec.bits
+	} else {
+		ec.stamp = o.edgeSerial
 	}
-	o.edge[to] += bits
-	if eb := o.edge[to]; eb > o.nw.bandwidth {
+	ec.bits = eb
+	if int(eb) > o.nw.bandwidth {
 		o.fail(fmt.Errorf("congest: round %d: edge %d->%d exceeds bandwidth (%d > %d bits)",
 			o.round, o.sender, to, eb, o.nw.bandwidth))
 		return
-	} else if eb > o.maxEdge {
-		o.maxEdge = eb
+	} else if int(eb) > o.maxEdge {
+		o.maxEdge = int(eb)
 	}
-	if len(o.buf[to]) == 0 {
-		o.touched = append(o.touched, to)
+	rec := int32(len(o.q))
+	dc := &o.dest[to]
+	if dc.stamp == o.qSerial {
+		o.q[dc.tail].next = rec
+	} else {
+		dc.stamp = o.qSerial
+		dc.head = rec
+		o.touched = append(o.touched, int32(to))
 	}
-	o.buf[to] = append(o.buf[to], Inbound{From: o.sender, Kind: k, Bits: bits, wire: view})
+	dc.tail = rec
+	o.q = append(o.q, stagedRec{start: start, from: int32(o.sender), next: -1, bits: int32(bits), kind: k})
 	if o.keepMsgs {
-		o.msgs = append(o.msgs, stagedMsg{to: to, kind: k, bits: bits, wire: view})
+		o.msgs = append(o.msgs, stagedMsg{to: to, kind: k, bits: bits, wire: o.arena.view(start, bits)})
 	}
-	o.messages++
 	o.bitsTotal += bits
+}
+
+// sent returns the number of copies staged this round (derived from the
+// queue at the barrier — the metrics-coalescing side of the SoA layout).
+func (o *Outbox) sent() int { return len(o.q) }
+
+// appendChain materializes receiver to's staged messages onto buf, in
+// emission order. The views point into the outbox arena, which is stable
+// until the next beginRound (i.e. across the whole receive half).
+func (o *Outbox) appendChain(to int, buf []Inbound) []Inbound {
+	dc := &o.dest[to]
+	if dc.stamp != o.qSerial {
+		return buf
+	}
+	for i := dc.head; i >= 0; i = o.q[i].next {
+		r := &o.q[i]
+		buf = append(buf, Inbound{From: int(r.from), Kind: r.kind, Bits: int(r.bits), wire: o.arena.view(r.start, int(r.bits))})
+	}
+	return buf
+}
+
+// gatherChains materializes receiver v's canonical inbox — ascending
+// sender, emission order within a sender — from the staged chains of obs
+// (one Outbox per worker), appending onto buf. heads is len(obs)-long merge
+// scratch. Every chain is ascending-sender by construction (senders run in
+// ascending order within a worker) and a sender lives in exactly one
+// outbox, so a k-way merge by sender id (ties impossible) reproduces the
+// serial delivery order.
+func gatherChains(obs []*Outbox, heads []int32, v int, buf []Inbound) []Inbound {
+	contributors, solo := 0, -1
+	for ww, ob := range obs {
+		if ob.dest[v].stamp == ob.qSerial {
+			contributors++
+			solo = ww
+		}
+	}
+	switch contributors {
+	case 0:
+		return buf
+	case 1:
+		return obs[solo].appendChain(v, buf)
+	}
+	for ww, ob := range obs {
+		if ob.dest[v].stamp == ob.qSerial {
+			heads[ww] = ob.dest[v].head
+		} else {
+			heads[ww] = -1
+		}
+	}
+	for {
+		best := -1
+		var bestFrom int32
+		for ww := range obs {
+			if h := heads[ww]; h >= 0 {
+				if from := obs[ww].q[h].from; best < 0 || from < bestFrom {
+					best, bestFrom = ww, from
+				}
+			}
+		}
+		if best < 0 {
+			return buf
+		}
+		ob := obs[best]
+		r := &ob.q[heads[best]]
+		buf = append(buf, Inbound{From: int(r.from), Kind: r.kind, Bits: int(r.bits), wire: ob.arena.view(r.start, int(r.bits))})
+		heads[best] = r.next
+	}
 }
 
 // Put encodes and stages one message to neighbor `to`. The cost charged
@@ -298,7 +434,7 @@ func (o *Outbox) Put(to int, m WireMessage) {
 	if !ok {
 		return
 	}
-	o.stageTo(to, k, bits, o.arena.view(start, bits))
+	o.stageTo(to, k, bits, start)
 }
 
 // Broadcast sends the identical message to every target, in slice order.
@@ -314,23 +450,26 @@ func (o *Outbox) Broadcast(targets []int, m WireMessage) {
 	if !ok {
 		return
 	}
-	view := o.arena.view(start, bits)
 	// Flooding fast path: when targets is the sender's own neighbor row —
-	// the idiomatic Broadcast(env.Neighbors, m) — every destination is a
+	// the idiomatic Broadcast(env.Neighbors, m) — or a prefix subslice of
+	// it (env.Neighbors[:j] is still all neighbors), every destination is a
 	// neighbor by construction, so the per-copy adjacency probe is skipped.
-	// Identity is by slice identity (same base pointer and length as the
-	// topology row), never by content, so no other slice can take the path.
-	if row := o.nw.topo.neighbors[o.sender]; len(targets) == len(row) && len(row) > 0 && &targets[0] == &row[0] {
+	// Identity is by slice identity (same base pointer as the topology row,
+	// length within it), never by content, so no caller-built slice can
+	// take the path. Non-prefix subslices (row[i:] for i > 0) have a
+	// different base pointer and run through the validated path — correct,
+	// just not fast.
+	if row := o.nw.topo.neighbors[o.sender]; len(row) > 0 && len(targets) <= len(row) && &targets[0] == &row[0] {
 		for _, to := range targets {
 			if o.err != nil {
 				return
 			}
-			o.stageKnownEdge(to, k, bits, view)
+			o.stageKnownEdge(to, k, bits, start)
 		}
 		return
 	}
 	for _, to := range targets {
-		o.stageTo(to, k, bits, view)
+		o.stageTo(to, k, bits, start)
 	}
 }
 
@@ -434,6 +573,11 @@ type Network struct {
 	strict    bool
 	metrics   Metrics
 	observer  Observer
+
+	// packW[k] is kind k's fixed total encoded width at this network's n
+	// (0 = dynamic), precomputed so the strict cross-check on the packed
+	// encode fast path is one compare. See RegisterKindWidth.
+	packW [numKinds]uint8
 }
 
 // DefaultBandwidth returns the bandwidth used when none is configured:
@@ -502,6 +646,7 @@ func NewNetworkOn(topo *Topology, make func(v int) Node, opts ...Option) *Networ
 		topo:      topo,
 		nodes:     make2(topo.n, make),
 		bandwidth: DefaultBandwidth(topo.n),
+		packW:     packedWidths(topo.n),
 	}
 	for _, o := range opts {
 		o(nw)
@@ -589,7 +734,8 @@ type workerState struct {
 	maxInboxSize int
 	shardDone    bool
 
-	heads []int // merge cursors, one per worker
+	heads []int32   // chain-merge cursors, one per worker
+	inbox []Inbound // reusable materialized inbox (one vertex at a time)
 }
 
 // engine holds the per-run execution state of Run.
@@ -599,11 +745,10 @@ type engine struct {
 	round int
 	empty bool // the current round's send half produced no messages
 
-	envs    []Env
-	bufs    [][][]Inbound // bufs[w][v]: worker w's Outbox delivery buffers
-	inboxes [][]Inbound   // reusable merged inbox per receiver
-	outs    [][]stagedMsg // per-sender emissions, kept only for the observer
-	ws      []workerState
+	envs []Env
+	obs  []*Outbox     // the workers' outboxes (delivery reads their chains)
+	outs [][]stagedMsg // per-sender emissions, kept only for the observer
+	ws   []workerState
 
 	fr *frontierState // frontier scheduler state; nil on the dense path
 
@@ -620,13 +765,12 @@ func newEngine(nw *Network) *engine {
 		// the graph stays read-only once workers start.
 		e.envs[v] = Env{ID: v, N: n, Neighbors: nw.topo.neighbors[v], rd: Reader{N: n}}
 	}
-	e.inboxes = make([][]Inbound, n)
-	e.bufs = make([][][]Inbound, e.k)
+	e.obs = make([]*Outbox, e.k)
 	e.ws = make([]workerState, e.k)
 	for w := 0; w < e.k; w++ {
 		e.ws[w].outbox = newOutbox(nw, n)
-		e.bufs[w] = e.ws[w].outbox.buf
-		e.ws[w].heads = make([]int, e.k)
+		e.obs[w] = e.ws[w].outbox
+		e.ws[w].heads = make([]int32, e.k)
 	}
 	if nw.observer != nil {
 		e.outs = make([][]stagedMsg, n)
@@ -738,7 +882,7 @@ func (e *engine) finishSend() error {
 		if ob.err != nil && (errW < 0 || ob.errSender < e.ws[errW].outbox.errSender) {
 			errW = w
 		}
-		sent += ob.messages
+		sent += ob.sent()
 		bitsTotal += ob.bitsTotal
 		if ob.maxEdge > maxEdge {
 			maxEdge = ob.maxEdge
@@ -789,53 +933,21 @@ func (e *engine) finishSend() error {
 }
 
 // recvShard runs the Receive half for every vertex of worker w. Each inbox
-// is merged from the workers' private buffers: every buffer holds messages
-// in ascending sender order and a sender's messages live in exactly one
-// buffer, so a k-way merge by sender id (ties impossible) reproduces the
-// canonical delivery order — ascending sender, emission order within a
-// sender — for every worker count.
+// is materialized from the workers' staged chains into the worker's scratch
+// by gatherChains, which reproduces the canonical delivery order —
+// ascending sender, emission order within a sender — for every worker
+// count. Vertices execute one at a time per worker and Receive must not
+// retain the inbox, so one reusable scratch per worker suffices.
 func (e *engine) recvShard(w int) {
 	nw := e.nw
 	st := &e.ws[w]
 	var maxState, maxInbox int
 	allDone := true
-	heads := st.heads
 	for v := w; v < e.n; v += e.k {
-		var inbox []Inbound
+		inbox := st.inbox[:0]
 		if !e.empty {
-			contributors, solo := 0, -1
-			for ww := 0; ww < e.k; ww++ {
-				if len(e.bufs[ww][v]) > 0 {
-					contributors++
-					solo = ww
-				}
-			}
-			switch contributors {
-			case 0:
-				// inbox stays nil
-			case 1:
-				inbox = e.bufs[solo][v]
-			default:
-				inbox = e.inboxes[v][:0]
-				for ww := range heads {
-					heads[ww] = 0
-				}
-				for {
-					best := -1
-					for ww := 0; ww < e.k; ww++ {
-						b := e.bufs[ww][v]
-						if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < e.bufs[best][v][heads[best]].From) {
-							best = ww
-						}
-					}
-					if best < 0 {
-						break
-					}
-					inbox = append(inbox, e.bufs[best][v][heads[best]])
-					heads[best]++
-				}
-				e.inboxes[v] = inbox
-			}
+			inbox = gatherChains(e.obs, st.heads, v, inbox)
+			st.inbox = inbox
 		}
 		if len(inbox) > maxInbox {
 			maxInbox = len(inbox)
@@ -960,6 +1072,7 @@ func (nw *Network) RunReference(maxRounds int) error {
 		m    stagedMsg
 	}
 	var pending []obsEvent
+	var inbox []Inbound // materialized-inbox scratch, reused per vertex
 	if nw.observer != nil {
 		nw.observer(0, -1, -1, 0, WireView{}) // run boundary
 	}
@@ -1001,23 +1114,25 @@ func (nw *Network) RunReference(maxRounds int) error {
 			e := &pending[i]
 			nw.observer(round, e.from, e.m.to, e.m.bits, e.m.wire)
 		}
-		nw.metrics.Messages += ob.messages
+		nw.metrics.Messages += ob.sent()
 		nw.metrics.Bits += ob.bitsTotal
 		if ob.maxEdge > nw.metrics.MaxEdgeBits {
 			nw.metrics.MaxEdgeBits = ob.maxEdge
 		}
-		if ob.messages == 0 {
+		if ob.sent() == 0 {
 			nw.metrics.DroppedRounds++
 		}
 
-		// Receive half.
-		for _, to := range ob.touched {
-			if len(ob.buf[to]) > nw.metrics.MaxInboxSize {
-				nw.metrics.MaxInboxSize = len(ob.buf[to])
-			}
-		}
+		// Receive half. The single outbox's chains are already canonical
+		// (ascending senders by construction); each inbox is materialized
+		// into the reused scratch.
 		for v, nd := range nw.nodes {
-			nd.Receive(&envs[v], ob.buf[v])
+			in := ob.appendChain(v, inbox[:0])
+			inbox = in
+			if len(in) > nw.metrics.MaxInboxSize {
+				nw.metrics.MaxInboxSize = len(in)
+			}
+			nd.Receive(&envs[v], in)
 			if s, ok := nd.(StateSizer); ok {
 				if b := s.StateBits(); b > nw.metrics.MaxStateBits {
 					nw.metrics.MaxStateBits = b

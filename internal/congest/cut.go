@@ -38,15 +38,46 @@ func (m *msgSide) MarshalWire(w *Writer) {
 }
 func (m *msgSide) UnmarshalWire(r *Reader) { m.Marked = r.ReadUint(1) == 1 }
 func (m *msgSide) DeclaredBits(n int) int  { return KindBits + 1 }
+func (m *msgSide) PackWire(n int) (uint64, int, bool) {
+	if m.Marked {
+		return 1, 1, true
+	}
+	return 0, 1, true
+}
+func (m *msgSide) UnpackWire(n int, p uint64, width int) bool {
+	if width != 1 {
+		return false
+	}
+	m.Marked = p == 1
+	return true
+}
 
 func (m *msgCutSum) WireKind() Kind          { return KindCutSum }
 func (m *msgCutSum) MarshalWire(w *Writer)   { w.WriteID(m.Sum, m.Bound+1) }
 func (m *msgCutSum) UnmarshalWire(r *Reader) { m.Sum = r.ReadID(m.Bound + 1) }
 func (m *msgCutSum) DeclaredBits(n int) int  { return KindBits + BitsForID(m.Bound+1) }
 
+// The width is Bound-parameterized (no RegisterKindWidth), so under strict
+// accounting the engine encodes these via the generic path; the packed pair
+// still serves the non-strict encode and the receive-side decode.
+func (m *msgCutSum) PackWire(n int) (uint64, int, bool) {
+	if m.Bound < 0 || m.Sum < 0 || m.Sum > m.Bound {
+		return 0, 0, false
+	}
+	return uint64(m.Sum), BitsForID(m.Bound + 1), true
+}
+func (m *msgCutSum) UnpackWire(n int, p uint64, width int) bool {
+	if width != BitsForID(m.Bound+1) || (m.Bound >= 0 && p > uint64(m.Bound)) {
+		return false
+	}
+	m.Sum = int(p)
+	return true
+}
+
 func init() {
 	RegisterKind(KindSide, "side", func() WireMessage { return new(msgSide) })
 	RegisterKind(KindCutSum, "cutsum", func() WireMessage { return new(msgCutSum) })
+	RegisterKindWidth(KindSide, func(n int) int { return KindBits + 1 })
 }
 
 // CutMarkNode runs the mark flood: the root starts marked, every vertex

@@ -76,6 +76,31 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if r.Remaining() != 0 {
 			t.Fatalf("%d bits left after reading every field", r.Remaining())
 		}
+		// The packed fast path's raw writer must lay down the identical bit
+		// stream (values are pre-masked, so the unvalidated append is legal),
+		// and WireView.word must read any <= 64-bit span back exactly from
+		// any bit offset.
+		var wr Writer
+		wr.Reset(1 << 16)
+		for _, fd := range fields {
+			if fd.width > 0 { // writeRaw's contract: 0 < width (tag included)
+				wr.writeRaw(fd.value, fd.width)
+			}
+		}
+		if wr.Len() != w.Len() || !reflect.DeepEqual(wr.words, w.words) {
+			t.Fatalf("writeRaw stream (%d bits) differs from WriteUint stream (%d bits)", wr.Len(), w.Len())
+		}
+		off := 0
+		for i, fd := range fields {
+			if fd.width > 0 {
+				v := w.view(off, fd.width)
+				if got := v.word(); got != fd.value {
+					t.Fatalf("field %d: view.word() = %#x at offset %d, wrote %#x (width %d)",
+						i, got, off, fd.value, fd.width)
+				}
+			}
+			off += fd.width
+		}
 		// Reading past the end must error, not panic, and subsequent reads
 		// stay zero.
 		if v := r.ReadUint(1); v != 0 || r.Err() == nil {

@@ -244,8 +244,9 @@ const (
 // pointer chains (see sendShardM).
 type laneWorkerState struct {
 	obs      []*Outbox
-	heads    []int // k-way merge cursors, one per worker
-	maxState []int // per-lane receive-half maxima
+	heads    []int32   // k-way chain-merge cursors, one per worker
+	inbox    []Inbound // reusable materialized inbox (one vertex/lane at a time)
+	maxState []int     // per-lane receive-half maxima
 	maxInbox []int
 
 	// Per-shard-call hoists, indexed by position in e.act (not lane id).
@@ -261,7 +262,7 @@ type laneWorkerState struct {
 	nxtW   [][]uint64       // nxt.words per active lane (receive half)
 	curS   [][]uint64       // cur.sum per active lane
 	nxtS   [][]uint64       // nxt.sum per active lane (receive half)
-	bufs   [][][]Inbound    // delivery buffers, active-lane-major, worker-minor
+	lobx   []*Outbox        // delivery outboxes, active-lane-major, worker-minor
 	lw     []uint64         // per-lane membership word at the current word index
 }
 
@@ -276,9 +277,8 @@ type multiEngine struct {
 
 	geo *frontierState // shard geometry (identical for every lane)
 
-	envs    []Env
-	inboxes [][]Inbound // shared merged-inbox scratch (lanes execute serially per vertex)
-	ws      []laneWorkerState
+	envs []Env
+	ws   []laneWorkerState
 
 	act []*lane // lanes executing the current round's phases, ascending lane order
 
@@ -295,7 +295,6 @@ func newMultiEngine(ms *MultiSession) *multiEngine {
 	for v := 0; v < n; v++ {
 		e.envs[v] = Env{ID: v, N: n, Neighbors: ms.topo.neighbors[v], rd: Reader{N: n}}
 	}
-	e.inboxes = make([][]Inbound, n)
 	e.act = make([]*lane, 0, len(ms.lanes))
 	e.liveScratch = make([]*lane, 0, len(ms.lanes))
 	for _, la := range ms.lanes {
@@ -336,7 +335,7 @@ func newMultiEngine(ms *MultiSession) *multiEngine {
 		for _, la := range ms.lanes {
 			st.obs[la.idx] = newOutbox(la.nw, n)
 		}
-		st.heads = make([]int, e.k)
+		st.heads = make([]int32, e.k)
 		st.maxState = make([]int, len(ms.lanes))
 		st.maxInbox = make([]int, len(ms.lanes))
 		st.lobs = make([]*Outbox, 0, len(ms.lanes))
@@ -349,7 +348,7 @@ func newMultiEngine(ms *MultiSession) *multiEngine {
 		st.nxtW = make([][]uint64, 0, len(ms.lanes))
 		st.curS = make([][]uint64, 0, len(ms.lanes))
 		st.nxtS = make([][]uint64, 0, len(ms.lanes))
-		st.bufs = make([][][]Inbound, 0, len(ms.lanes)*e.k)
+		st.lobx = make([]*Outbox, 0, len(ms.lanes)*e.k)
 		st.lw = make([]uint64, len(ms.lanes))
 	}
 	if e.k > 1 {
@@ -679,7 +678,7 @@ func (e *multiEngine) finishSend() (anyDead bool) {
 			if ob.err != nil && (errW < 0 || ob.errSender < e.ws[errW].obs[la.idx].errSender) {
 				errW = w
 			}
-			sent += ob.messages
+			sent += ob.sent()
 			bitsTotal += ob.bitsTotal
 			if ob.maxEdge > maxEdge {
 				maxEdge = ob.maxEdge
@@ -756,15 +755,15 @@ func (e *multiEngine) recvShardM(w int) {
 		if k == 1 {
 			// One worker owns every vertex: no range test needed.
 			for _, to := range st.obs[li].touched {
-				if nxt.add(int32(to)) {
+				if nxt.add(to) {
 					added++
 				}
 			}
 		} else {
-			vlo, vhi := wlo<<6, whi<<6
+			vlo, vhi := int32(wlo<<6), int32(whi<<6)
 			for ww := range e.ws {
 				for _, to := range e.ws[ww].obs[li].touched {
-					if to >= vlo && to < vhi && nxt.add(int32(to)) {
+					if to >= vlo && to < vhi && nxt.add(to) {
 						added++
 					}
 				}
@@ -780,7 +779,7 @@ func (e *multiEngine) recvShardM(w int) {
 	ldone, lsch, lsiz := st.ldone[:0], st.lsch[:0], st.lsiz[:0]
 	curW, nxtW := st.curW[:0], st.nxtW[:0]
 	curS, nxtS := st.curS[:0], st.nxtS[:0]
-	bufs := st.bufs[:0]
+	lobx := st.lobx[:0]
 	for _, la := range act {
 		fr := la.fr
 		lnodes = append(lnodes, la.nw.nodes)
@@ -792,16 +791,12 @@ func (e *multiEngine) recvShardM(w int) {
 		nxtW = append(nxtW, fr.nxt.words)
 		curS = append(curS, fr.cur.sum)
 		nxtS = append(nxtS, fr.nxt.sum)
-		if k == 1 {
-			bufs = append(bufs, st.obs[la.idx].buf)
-		} else {
-			for ww := 0; ww < k; ww++ {
-				bufs = append(bufs, e.ws[ww].obs[la.idx].buf)
-			}
+		for ww := 0; ww < k; ww++ {
+			lobx = append(lobx, e.ws[ww].obs[la.idx])
 		}
 	}
 	st.lnodes, st.lfr, st.ldone, st.lsch, st.lsiz = lnodes, lfr, ldone, lsch, lsiz
-	st.curW, st.nxtW, st.curS, st.nxtS, st.bufs = curW, nxtW, curS, nxtS, bufs
+	st.curW, st.nxtW, st.curS, st.nxtS, st.lobx = curW, nxtW, curS, nxtS, lobx
 	lw := st.lw[:len(act)]
 	heads := st.heads
 	maxState, maxInbox := st.maxState, st.maxInbox
@@ -833,44 +828,8 @@ func (e *multiEngine) recvShardM(w int) {
 					}
 					var inbox []Inbound
 					if !la.empty {
-						if k == 1 {
-							inbox = bufs[i][v]
-						} else {
-							lb := bufs[i*k : i*k+k]
-							contributors, solo := 0, -1
-							for ww := 0; ww < k; ww++ {
-								if len(lb[ww][v]) > 0 {
-									contributors++
-									solo = ww
-								}
-							}
-							switch contributors {
-							case 0:
-								// inbox stays nil
-							case 1:
-								inbox = lb[solo][v]
-							default:
-								inbox = e.inboxes[v][:0]
-								for ww := range heads {
-									heads[ww] = 0
-								}
-								for {
-									best := -1
-									for ww := 0; ww < k; ww++ {
-										b := lb[ww][v]
-										if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < lb[best][v][heads[best]].From) {
-											best = ww
-										}
-									}
-									if best < 0 {
-										break
-									}
-									inbox = append(inbox, lb[best][v][heads[best]])
-									heads[best]++
-								}
-								e.inboxes[v] = inbox
-							}
-						}
+						inbox = gatherChains(lobx[i*k:i*k+k], heads, v, st.inbox[:0])
+						st.inbox = inbox
 					}
 					li := la.idx
 					if len(inbox) > maxInbox[li] {

@@ -541,16 +541,15 @@ func (e *engine) recvShardF(w int) {
 		return
 	}
 	if !e.empty {
-		vlo, vhi := wlo<<6, whi<<6
+		vlo, vhi := int32(wlo<<6), int32(whi<<6)
 		for ww := range e.ws {
 			for _, to := range e.ws[ww].outbox.touched {
-				if to >= vlo && to < vhi && fr.nxt.add(int32(to)) {
+				if to >= vlo && to < vhi && fr.nxt.add(to) {
 					added++
 				}
 			}
 		}
 	}
-	heads := st.heads
 	cur, nxt := fr.cur, fr.nxt
 	for si := wlo >> 6; si < (whi+63)>>6; si++ {
 		sw := cur.sum[si] | nxt.sum[si]
@@ -563,39 +562,8 @@ func (e *engine) recvShardF(w int) {
 				word &= word - 1
 				var inbox []Inbound
 				if !e.empty {
-					contributors, solo := 0, -1
-					for ww := 0; ww < e.k; ww++ {
-						if len(e.bufs[ww][v]) > 0 {
-							contributors++
-							solo = ww
-						}
-					}
-					switch contributors {
-					case 0:
-						// inbox stays nil
-					case 1:
-						inbox = e.bufs[solo][v]
-					default:
-						inbox = e.inboxes[v][:0]
-						for ww := range heads {
-							heads[ww] = 0
-						}
-						for {
-							best := -1
-							for ww := 0; ww < e.k; ww++ {
-								b := e.bufs[ww][v]
-								if heads[ww] < len(b) && (best < 0 || b[heads[ww]].From < e.bufs[best][v][heads[best]].From) {
-									best = ww
-								}
-							}
-							if best < 0 {
-								break
-							}
-							inbox = append(inbox, e.bufs[best][v][heads[best]])
-							heads[best]++
-						}
-						e.inboxes[v] = inbox
-					}
+					inbox = gatherChains(e.obs, st.heads, v, st.inbox[:0])
+					st.inbox = inbox
 				}
 				if len(inbox) > maxInbox {
 					maxInbox = len(inbox)

@@ -24,9 +24,23 @@ func (m *msgAdj) WireKind() Kind          { return KindAdj }
 func (m *msgAdj) MarshalWire(w *Writer)   { w.WriteID(m.ID, w.N) }
 func (m *msgAdj) UnmarshalWire(r *Reader) { m.ID = r.ReadID(r.N) }
 func (m *msgAdj) DeclaredBits(n int) int  { return KindBits + BitsForID(n) }
+func (m *msgAdj) PackWire(n int) (uint64, int, bool) {
+	if m.ID < 0 || m.ID >= n {
+		return 0, 0, false
+	}
+	return uint64(m.ID), BitsForID(n), true
+}
+func (m *msgAdj) UnpackWire(n int, p uint64, width int) bool {
+	if width != BitsForID(n) || p >= uint64(n) {
+		return false
+	}
+	m.ID = int(p)
+	return true
+}
 
 func init() {
 	RegisterKind(KindAdj, "adj", func() WireMessage { return new(msgAdj) })
+	RegisterKindWidth(KindAdj, func(n int) int { return KindBits + BitsForID(n) })
 }
 
 // TriangleProbeNode announces this vertex's adjacency list, one neighbor id

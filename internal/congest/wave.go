@@ -40,9 +40,31 @@ func (m *msgWave) UnmarshalWire(r *Reader) {
 	m.Delta = r.ReadID(4*r.N + 1)
 }
 func (m *msgWave) DeclaredBits(n int) int { return KindBits + 2*BitsForID(4*n+1) }
+func (m *msgWave) PackWire(n int) (uint64, int, bool) {
+	b := 4*n + 1
+	if m.Tau < 0 || m.Tau >= b || m.Delta < 0 || m.Delta >= b {
+		return 0, 0, false
+	}
+	w := BitsForID(b)
+	return uint64(m.Tau) | uint64(m.Delta)<<w, 2 * w, true
+}
+func (m *msgWave) UnpackWire(n int, p uint64, width int) bool {
+	b := 4*n + 1
+	w := BitsForID(b)
+	if width != 2*w {
+		return false
+	}
+	tau, delta := p&(1<<w-1), p>>w
+	if tau >= uint64(b) || delta >= uint64(b) {
+		return false
+	}
+	m.Tau, m.Delta = int(tau), int(delta)
+	return true
+}
 
 func init() {
 	RegisterKind(KindWave, "wave", func() WireMessage { return new(msgWave) })
+	RegisterKindWidth(KindWave, func(n int) int { return KindBits + 2*BitsForID(4*n+1) })
 }
 
 // WaveNode runs the Figure 2 Step 2 process at one node.

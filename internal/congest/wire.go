@@ -76,10 +76,26 @@ type BitsDeclarer interface {
 	DeclaredBits(n int) int
 }
 
+// PackedWire is an optional fast-path interface for messages whose whole
+// encoded form — kind tag plus payload — fits one uint64. PackWire returns
+// the payload bits (field order and layout identical to MarshalWire: first
+// field in the lowest bits) and the payload width; UnpackWire is the
+// inverse. Both return ok=false for any value MarshalWire/UnmarshalWire
+// would reject (out-of-range field, corrupt payload, wrong width), in which
+// case the engine falls back to the generic codec path — which produces the
+// canonical error — so the fast path never invents its own failure modes.
+// MarshalWire stays the oracle: the differential tests assert the two
+// encodings are bit-identical for every registered kind.
+type PackedWire interface {
+	PackWire(n int) (payload uint64, width int, ok bool)
+	UnpackWire(n int, payload uint64, width int) bool
+}
+
 // kindInfo is one registry entry.
 type kindInfo struct {
-	name string
-	new  func() WireMessage
+	name  string
+	new   func() WireMessage
+	width func(n int) int // fixed total encoded width (tag included); nil = dynamic
 }
 
 var kindRegistry [numKinds]kindInfo
@@ -100,6 +116,39 @@ func RegisterKind(k Kind, name string, factory func() WireMessage) {
 		panic(fmt.Sprintf("congest: kind %d registered twice (%s, %s)", k, kindRegistry[k].name, name))
 	}
 	kindRegistry[k] = kindInfo{name: name, new: factory}
+}
+
+// RegisterKindWidth records that every message of kind k encodes to exactly
+// width(n) bits (kind tag included) on a network of n vertices — i.e. the
+// width is a pure function of n, with no per-message parameters. The
+// formula must equal the kind's DeclaredBits; the engine precomputes it per
+// network so the strict-accounting cross-check on the packed encode path is
+// one integer compare instead of an interface call. Kinds with
+// message-dependent widths (Bound-parameterized codecs, RawMessage) must
+// not register one. Like RegisterKind, call only from init functions.
+func RegisterKindWidth(k Kind, width func(n int) int) {
+	if !Registered(k) {
+		panic(fmt.Sprintf("congest: width for unregistered kind %d", k))
+	}
+	if kindRegistry[k].width != nil {
+		panic(fmt.Sprintf("congest: kind %d (%s) width registered twice", k, kindRegistry[k].name))
+	}
+	kindRegistry[k].width = width
+}
+
+// packedWidths precomputes, for network size n, the fixed total encoded
+// width of every width-registered kind. Entry 0 means "no fixed width"
+// (unregistered, dynamic, or wider than one word): the strict cross-check
+// then takes the generic path.
+func packedWidths(n int) (t [numKinds]uint8) {
+	for k := range kindRegistry {
+		if wf := kindRegistry[k].width; wf != nil {
+			if wb := wf(n); wb > 0 && wb <= 64 {
+				t[k] = uint8(wb)
+			}
+		}
+	}
+	return t
 }
 
 // Registered reports whether k has been registered.
@@ -186,6 +235,23 @@ func (w *Writer) WriteUint(v uint64, width int) {
 	}
 	if width == 0 {
 		return
+	}
+	i, sh := off/64, uint(off%64)
+	w.words[i] |= v << sh
+	if sh+uint(width) > 64 {
+		w.words[i+1] |= v >> (64 - sh)
+	}
+}
+
+// writeRaw appends the low `width` bits of v with no validation: the packed
+// encode fast path, where the caller (Outbox.encode) already knows
+// 0 < width <= 64 and that v has no bits at or above width. One straddling
+// pair of word ORs replaces the per-field cursor walk of WriteUint.
+func (w *Writer) writeRaw(v uint64, width int) {
+	off := w.bits
+	w.bits += width
+	for need := (w.bits + 63) / 64; len(w.words) < need; {
+		w.words = append(w.words, 0)
 	}
 	i, sh := off/64, uint(off%64)
 	w.words[i] |= v << sh
@@ -330,6 +396,21 @@ func (v WireView) Kind() Kind {
 // payloadReader points r at the payload (after the kind tag).
 func (v WireView) payloadReader(r *Reader, n int) {
 	*r = Reader{N: n, words: v.words, off: int(v.off) + KindBits, end: int(v.off) + int(v.bits)}
+}
+
+// word returns the whole encoded message — kind tag in the low KindBits,
+// payload above it — as one value. Only valid when Len() <= 64; the decode
+// fast path checks that before calling.
+func (v WireView) word() uint64 {
+	sh := uint(v.off)
+	w := v.words[0] >> sh
+	if int(v.off)+int(v.bits) > 64 {
+		w |= v.words[1] << (64 - sh)
+	}
+	if v.bits < 64 {
+		w &= 1<<uint(v.bits) - 1
+	}
+	return w
 }
 
 // BitsForID returns the number of bits needed to name one of n values:
